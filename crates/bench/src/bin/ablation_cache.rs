@@ -1,0 +1,38 @@
+//! Ablation (DESIGN.md §4): cache-state featurization on vs off.
+//!
+//! Paper §3.1.1: "when Bao's feature representation is augmented with
+//! information about the cache, Bao can learn how to change query plans
+//! based on the cache state." The warm-cache IMDb run exercises this.
+
+use bao_bench::{bao_settings, build_workload, print_header, Args, Table, WorkloadName};
+use bao_cloud::N1_16;
+use bao_harness::{RunConfig, Runner, Strategy};
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.scale(0.12);
+    let n = args.queries(300);
+    let seed = args.seed();
+
+    print_header(
+        "Ablation: cache-state features on/off (warm cache, IMDb)",
+        &format!("(scale {scale}, {n} queries)"),
+    );
+
+    let (db, wl) = build_workload(WorkloadName::Imdb, scale, n, seed).expect("workload");
+    let mut t = Table::new(&["Featurization", "Exec (s)", "p99 (ms)"]);
+    for (label, cache) in [("with cache features", true), ("without cache features", false)] {
+        let mut s = bao_settings(6, n);
+        s.cache_features = cache;
+        let mut cfg = RunConfig::new(N1_16, Strategy::Bao(s));
+        cfg.seed = seed;
+        let res = Runner::new(cfg, db.clone()).run(&wl).expect("run");
+        let p99 = bao_common::stats::percentile(&res.latencies_ms(), 99.0);
+        t.row(vec![
+            label.to_string(),
+            format!("{:.2}", res.total_exec.as_secs()),
+            format!("{p99:.0}"),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,43 @@
+//! Ablation (DESIGN.md §4): Thompson sampling via bootstrap vs pure
+//! maximum-likelihood training (no exploration).
+//!
+//! Paper §3: training on a bootstrap of the experience samples model
+//! parameters from P(θ|E), balancing exploration and exploitation; a pure
+//! MLE model "never tries alternative strategies, never learns when we
+//! are wrong".
+
+use bao_bench::{bao_settings, build_workload, print_header, Args, Table, WorkloadName};
+use bao_cloud::N1_16;
+use bao_harness::{RunConfig, Runner, Strategy};
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.scale(0.12);
+    let n = args.queries(300);
+    let seed = args.seed();
+
+    print_header(
+        "Ablation: bootstrap Thompson sampling vs greedy MLE",
+        &format!("(IMDb scale {scale}, {n} queries, averaged over 3 seeds)"),
+    );
+
+    let (db, wl) = build_workload(WorkloadName::Imdb, scale, n, seed).expect("workload");
+    let mut t = Table::new(&["Training", "Mean exec (s)", "Worst seed (s)"]);
+    for (label, bootstrap) in
+        [("bootstrap (Thompson)", true), ("full window (greedy MLE)", false)]
+    {
+        let mut totals = Vec::new();
+        for s_off in 0..3u64 {
+            let mut s = bao_settings(6, n);
+            s.bootstrap = bootstrap;
+            let mut cfg = RunConfig::new(N1_16, Strategy::Bao(s));
+            cfg.seed = seed + s_off;
+            let res = Runner::new(cfg, db.clone()).run(&wl).expect("run");
+            totals.push(res.total_exec.as_secs());
+        }
+        let mean = totals.iter().sum::<f64>() / totals.len() as f64;
+        let worst = totals.iter().cloned().fold(0.0f64, f64::max);
+        t.row(vec![label.to_string(), format!("{mean:.2}"), format!("{worst:.2}")]);
+    }
+    t.print();
+}

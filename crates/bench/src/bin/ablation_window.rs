@@ -1,0 +1,41 @@
+//! Ablation (DESIGN.md §4): sliding-window size k and retrain period n —
+//! the §3.2 knobs trading model quality against training overhead.
+
+use bao_bench::{bao_settings, build_workload, print_header, Args, Table, WorkloadName};
+use bao_cloud::N1_16;
+use bao_harness::{RunConfig, Runner, Strategy};
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.scale(0.12);
+    let n = args.queries(300);
+    let seed = args.seed();
+
+    print_header(
+        "Ablation: window size k and retrain period n",
+        &format!("(IMDb scale {scale}, {n} queries; paper defaults k = 2000, n = 100)"),
+    );
+
+    let (db, wl) = build_workload(WorkloadName::Imdb, scale, n, seed).expect("workload");
+    let mut t = Table::new(&["k (window)", "n (retrain)", "Exec (s)", "GPU (s)", "Retrains"]);
+    for (k, rn) in [(50, 50), (150, 50), (n, 50), (n, 25), (n, 100)] {
+        let mut s = bao_settings(6, n);
+        s.window = k;
+        s.retrain = rn;
+        let mut cfg = RunConfig::new(N1_16, Strategy::Bao(s));
+        cfg.seed = seed;
+        let res = Runner::new(cfg, db.clone()).run(&wl).expect("run");
+        let retrains = res.records.iter().filter(|r| r.gpu_time.as_ms() > 0.0).count();
+        t.row(vec![
+            format!("{k}"),
+            format!("{rn}"),
+            format!("{:.2}", res.total_exec.as_secs()),
+            format!("{:.1}", res.total_gpu.as_secs()),
+            format!("{retrains}"),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("Too small a window forgets the catastrophic plans Bao learned to avoid;");
+    println!("frequent retraining costs GPU time for little extra quality.");
+}

@@ -1,0 +1,182 @@
+//! `baodb` — an interactive SQL shell over the whole stack, with Bao
+//! integrated the way the paper's §4 PostgreSQL extension is: per-session
+//! activation (`SET enable_bao TO on/off`), EXPLAIN augmented with Bao's
+//! prediction and recommended hint (advisor mode), and a live view of the
+//! bandit's state.
+//!
+//! ```console
+//! $ cargo run --release -p bao-bench --bin baodb
+//! baodb=# SELECT COUNT(*) FROM title t, cast_info ci WHERE t.id = ci.movie_id;
+//! baodb=# EXPLAIN SELECT ...;
+//! baodb=# SET enable_bao TO on;
+//! baodb=# \bao        -- bandit state
+//! baodb=# \help
+//! ```
+//!
+//! Meta commands: `\help`, `\tables`, `\bao`, `\timing`, `\q`.
+
+use bao_bench::Args;
+use bao_cloud::N1_16;
+use bao_core::{Bao, BaoConfig};
+use bao_exec::execute;
+use bao_opt::{HintSet, Optimizer};
+use bao_sql::{parse_statement, Statement};
+use bao_stats::StatsCatalog;
+use bao_storage::BufferPool;
+use bao_workloads::imdb::build_imdb_database;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.scale(0.1);
+    let seed = args.seed();
+
+    eprintln!("loading IMDb-like database (scale {scale})...");
+    let db = build_imdb_database(scale, seed).expect("build database");
+    let cat = StatsCatalog::analyze(&db, 1_000, seed);
+    let opt = Optimizer::postgres();
+    let rates = N1_16.charge_rates();
+    let mut pool = BufferPool::new(N1_16.buffer_pool_pages());
+    let mut bao = Bao::new(BaoConfig {
+        arms: HintSet::top_arms(6),
+        window_size: 2_000,
+        retrain_interval: 25,
+        cache_features: true,
+        enabled: false, // like the paper: off until SET enable_bao TO on
+        bootstrap: true,
+        parallel_planning: true,
+        seed,
+    });
+    let mut timing = true;
+
+    eprintln!(
+        "tables: {}. Bao is OFF (observing only); `SET enable_bao TO on` to activate. \\help for help.",
+        db.table_names().join(", ")
+    );
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            eprint!("baodb=# ");
+        } else {
+            eprint!("baodb-# ");
+        }
+        std::io::stderr().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break; // EOF
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        // Meta commands act immediately.
+        if buffer.is_empty() && line.starts_with('\\') {
+            match line.trim_end_matches(';') {
+                "\\q" => break,
+                "\\timing" => {
+                    timing = !timing;
+                    println!("timing {}", if timing { "on" } else { "off" });
+                }
+                "\\tables" => {
+                    for t in db.table_names() {
+                        let st = db.by_name(t).unwrap();
+                        println!(
+                            "  {t}: {} rows, {} pages, indexes on [{}]",
+                            st.table.row_count(),
+                            st.table.n_pages(),
+                            st.indexes
+                                .iter()
+                                .map(|i| i.index.column.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        );
+                    }
+                }
+                "\\bao" => {
+                    println!(
+                        "enabled: {} | model: {} (fitted: {}) | arms: {} | experience: {} | retrains: {}",
+                        bao.cfg.enabled,
+                        bao.model_name(),
+                        bao.is_model_fitted(),
+                        bao.cfg.arms.len(),
+                        bao.experience_len(),
+                        bao.retrains()
+                    );
+                }
+                _ => println!(
+                    "meta commands: \\help \\tables \\bao \\timing \\q"
+                ),
+            }
+            continue;
+        }
+        // SET enable_bao TO on/off (paper §4 per-session activation).
+        if buffer.is_empty() {
+            let lower = line.to_ascii_lowercase();
+            if let Some(rest) = lower.strip_prefix("set enable_bao to ") {
+                bao.cfg.enabled = rest.trim_end_matches(';').trim() == "on";
+                println!("SET (Bao {})", if bao.cfg.enabled { "active" } else { "advisor-only" });
+                continue;
+            }
+        }
+        // Accumulate until a semicolon terminates the statement.
+        buffer.push_str(line);
+        buffer.push(' ');
+        if !line.ends_with(';') {
+            continue;
+        }
+        let sql = std::mem::take(&mut buffer);
+        match parse_statement(&sql) {
+            Err(e) => println!("ERROR: {e}"),
+            Ok(Statement::Explain(q)) => {
+                if bao.is_model_fitted() {
+                    match bao.advise(&opt, &q, &db, &cat, Some(&pool)) {
+                        Ok(advice) => print!("{}", advice.render()),
+                        Err(e) => println!("ERROR: {e}"),
+                    }
+                } else {
+                    // No model yet: plain EXPLAIN.
+                    match opt.plan(&q, &db, &cat, HintSet::all_enabled()) {
+                        Ok(p) => print!("{}", p.root.explain()),
+                        Err(e) => println!("ERROR: {e}"),
+                    }
+                }
+            }
+            Ok(Statement::Select(q)) => {
+                let sel = match bao.select_plan(&opt, &q, &db, &cat, Some(&pool)) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        println!("ERROR: {e}");
+                        continue;
+                    }
+                };
+                match execute(&sel.plan, &q, &db, &mut pool, &opt.params, &rates) {
+                    Ok(m) => {
+                        for row in m.output.iter().take(25) {
+                            let cells: Vec<String> =
+                                row.iter().map(|v| v.to_string()).collect();
+                            println!(" {}", cells.join(" | "));
+                        }
+                        if m.output.len() > 25 {
+                            println!(" ... ({} rows)", m.rows_out);
+                        } else {
+                            println!("({} row{})", m.rows_out, if m.rows_out == 1 { "" } else { "s" });
+                        }
+                        if timing {
+                            println!(
+                                "Time: {:.3} ms simulated ({} physical reads, arm {}: {})",
+                                m.latency.as_ms(),
+                                m.page_misses,
+                                sel.arm,
+                                sel.hints
+                            );
+                        }
+                        bao.observe(sel.tree, m.latency.as_ms());
+                    }
+                    Err(e) => println!("ERROR: {e}"),
+                }
+            }
+        }
+    }
+    eprintln!("bye");
+}

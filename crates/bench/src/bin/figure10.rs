@@ -1,0 +1,62 @@
+//! Figure 10: queries completed over time for Bao and the PostgreSQL-like
+//! optimizer on the (dynamic) IMDb workload, one panel per VM class.
+
+use bao_bench::{bao_settings, build_workload, print_header, Args, Table, WorkloadName};
+use bao_cloud::ALL_VMS;
+use bao_harness::{RunConfig, Runner, RunResult, Strategy};
+
+fn curve_points(res: &RunResult, n_points: usize) -> Vec<(f64, usize)> {
+    let curve = res.convergence_curve();
+    (1..=n_points)
+        .map(|i| {
+            let idx = (i * curve.len() / n_points).saturating_sub(1);
+            curve[idx]
+        })
+        .collect()
+}
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.scale(0.15);
+    let n = args.queries(400);
+    let seed = args.seed();
+    let arms = args.usize("arms", 6);
+
+    print_header(
+        "Figure 10: queries completed over time (IMDb, dynamic workload)",
+        &format!(
+            "(scale {scale}, {n} queries; paper: Bao's curve overtakes PostgreSQL's after training)"
+        ),
+    );
+
+    let (db, wl) = build_workload(WorkloadName::Imdb, scale, n, seed).expect("workload");
+    for vm in ALL_VMS {
+        let runs = [
+            ("PostgreSQL", Strategy::Traditional),
+            ("Bao", Strategy::Bao(bao_settings(arms, n))),
+        ]
+        .map(|(label, strategy)| {
+            let mut cfg = RunConfig::new(vm, strategy);
+            cfg.seed = seed;
+            (label, Runner::new(cfg, db.clone()).run(&wl).expect("run"))
+        });
+
+        println!("\n[{}]  (rows are checkpoints: elapsed seconds -> queries done)", vm.name);
+        let mut t = Table::new(&["Checkpoint", "PostgreSQL", "Bao"]);
+        let pg = curve_points(&runs[0].1, 8);
+        let bao = curve_points(&runs[1].1, 8);
+        for (i, (p, b)) in pg.iter().zip(bao.iter()).enumerate() {
+            t.row(vec![
+                format!("{}/8", i + 1),
+                format!("{:>7.1}s -> {:>4}", p.0, p.1),
+                format!("{:>7.1}s -> {:>4}", b.0, b.1),
+            ]);
+        }
+        t.row(vec![
+            "total".into(),
+            format!("{:.1}s", runs[0].1.workload_time().as_secs()),
+            format!("{:.1}s", runs[1].1.workload_time().as_secs()),
+        ]);
+        t.print();
+    }
+}

@@ -1,0 +1,78 @@
+//! Figure 13: queries completed vs time at concurrency level t ∈ {1,2,4},
+//! with the data on disk (left) versus fully in memory (right).
+//!
+//! The paper's finding: the disk-bound workload leaves plenty of idle CPU
+//! for Bao's extra optimization work, so Bao at t=1 beats PostgreSQL at
+//! t=4; once the database fits in memory, the workload is CPU-bound and
+//! at t=4 Bao's optimization overhead outweighs its gains.
+//!
+//! Concurrency model: t identical streams share the VM. I/O overlaps
+//! across streams; CPU contends once aggregate demand exceeds the vCPUs
+//! (each query's CPU time inflates by `max(1, t·u/c)` where `u` is the
+//! workload's measured CPU utilisation and `c` the core count; Bao's
+//! planning work adds to `u`).
+
+use bao_bench::{bao_settings, build_workload, print_header, Args, Table, WorkloadName};
+use bao_cloud::N1_4;
+use bao_harness::{RunConfig, Runner, RunResult, Strategy};
+
+/// Completion time of one of `t` concurrent streams.
+fn stream_time_secs(res: &RunResult, t: usize, vcpus: f64) -> f64 {
+    let cpu: f64 = res.records.iter().map(|r| r.cpu_time.as_secs()).sum::<f64>()
+        + res.total_opt.as_secs();
+    let io: f64 =
+        res.records.iter().map(|r| (r.latency - r.cpu_time).as_secs()).sum::<f64>();
+    let wall = cpu + io + res.total_opt.as_secs();
+    let util = (cpu / wall.max(1e-9)).min(1.0);
+    let contention = (t as f64 * util * 2.0 / vcpus).max(1.0);
+    cpu * contention + io
+}
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.scale(0.15);
+    let n = args.queries(300);
+    let seed = args.seed();
+    let arms = args.usize("arms", 6);
+
+    print_header(
+        "Figure 13: concurrent query streams, disk-resident vs in-memory (IMDb, N1-4)",
+        &format!("(scale {scale}, {n} queries/stream; paper: Bao wins when I/O-bound, caution when CPU-bound)"),
+    );
+
+    let (db, wl) = build_workload(WorkloadName::Imdb, scale, n, seed).expect("workload");
+    // "Disk": the pool holds a quarter of the data; "memory": everything
+    // (heaps + indexes) fits with room to spare.
+    let data_pages = (db.total_heap_pages() * 2) as usize;
+    let disk_pool = (data_pages / 4).max(64);
+    let mem_pool = data_pages * 4 + 1_024;
+
+    for (regime, pool_pages) in
+        [("data on disk", disk_pool), ("data in memory", mem_pool)]
+    {
+        println!("\n--- {regime} (buffer pool {pool_pages} pages)");
+        let mut t = Table::new(&["Streams t", "PostgreSQL (s)", "Bao (s)"]);
+        let runs: Vec<RunResult> = [
+            Strategy::Traditional,
+            Strategy::Bao(bao_settings(arms, n)),
+        ]
+        .into_iter()
+        .map(|strategy| {
+            let mut cfg = RunConfig::new(N1_4, strategy);
+            cfg.seed = seed;
+            Runner::new(cfg, db.clone())
+                .with_pool_pages(pool_pages)
+                .run(&wl)
+                .expect("run")
+        })
+        .collect();
+        for streams in [1usize, 2, 4] {
+            t.row(vec![
+                format!("{streams}"),
+                format!("{:.1}", stream_time_secs(&runs[0], streams, 4.0)),
+                format!("{:.1}", stream_time_secs(&runs[1], streams, 4.0)),
+            ]);
+        }
+        t.print();
+    }
+}

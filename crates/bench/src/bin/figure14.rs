@@ -1,0 +1,106 @@
+//! Figure 14: Bao vs Neo vs DQ vs PostgreSQL — queries finished over time
+//! on a stable workload (left) and the dynamic workload (right).
+//!
+//! Paper shape: on a stable workload Neo eventually overtakes PostgreSQL
+//! and, much later, Bao (its unrestricted plan space has a higher
+//! ceiling but converges orders of magnitude slower); DQ is slower still
+//! (poor inductive bias). On the dynamic workload neither Neo nor DQ
+//! catches Bao within the time budget.
+
+use bao_bench::{bao_settings, print_header, Args, Table};
+use bao_cloud::N1_16;
+use bao_baselines::LearnedOptimizer;
+use bao_common::split_seed;
+use bao_exec::execute;
+use bao_harness::{RunConfig, Runner, Strategy};
+use bao_opt::Optimizer;
+use bao_stats::StatsCatalog;
+use bao_storage::BufferPool;
+use bao_workloads::{build_imdb, ImdbConfig};
+
+/// Run a learned-optimizer baseline over the workload, returning
+/// cumulative latency per query (ms).
+fn run_learned(
+    mut lo: LearnedOptimizer,
+    db: &bao_storage::Database,
+    wl: &bao_workloads::Workload,
+    seed: u64,
+) -> Vec<f64> {
+    let db = db.clone();
+    let cat = StatsCatalog::analyze(&db, 1_000, split_seed(seed, 1));
+    let opt = Optimizer::postgres();
+    let mut pool = BufferPool::new(N1_16.buffer_pool_pages());
+    let rates = N1_16.charge_rates();
+    let mut clock = 0.0;
+    let mut out = Vec::with_capacity(wl.len());
+    for step in &wl.steps {
+        let (plan, tree) = lo.select_plan(&opt, &step.query, &db, &cat).expect("select");
+        let m = execute(&plan, &step.query, &db, &mut pool, &opt.params, &rates)
+            .expect("execute");
+        lo.observe(tree, m.latency.as_ms());
+        clock += m.latency.as_ms();
+        out.push(clock);
+    }
+    out
+}
+
+fn checkpoints(clock_ms: &[f64], k: usize) -> Vec<String> {
+    (1..=k)
+        .map(|i| {
+            let idx = (i * clock_ms.len() / k).saturating_sub(1);
+            format!("{:.0}s", clock_ms[idx] / 1_000.0)
+        })
+        .collect()
+}
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.scale(0.15);
+    let n = args.queries(400);
+    let seed = args.seed();
+
+    print_header(
+        "Figure 14: Bao vs Neo vs DQ vs PostgreSQL (queries finished over time)",
+        &format!("(scale {scale}, {n} queries; paper: unrestricted learners converge far slower, \
+                  and fail to catch Bao under workload drift)"),
+    );
+
+    for (panel, dynamic) in [("(a) stable workload", false), ("(b) dynamic workload", true)] {
+        println!("\n--- {panel}");
+        let (db, wl) =
+            build_imdb(&ImdbConfig { scale, n_queries: n, dynamic, seed }).unwrap();
+
+        // Bao + PostgreSQL through the harness.
+        let mut results: Vec<(String, Vec<f64>)> = Vec::new();
+        for (label, strategy) in [
+            ("PostgreSQL".to_string(), Strategy::Traditional),
+            ("Bao".to_string(), Strategy::Bao(bao_settings(6, n))),
+        ] {
+            let mut cfg = RunConfig::new(N1_16, strategy);
+            cfg.seed = seed;
+            let res = Runner::new(cfg, db.clone()).run(&wl).expect("run");
+            let clocks: Vec<f64> =
+                res.records.iter().map(|r| r.clock.as_ms()).collect();
+            results.push((label, clocks));
+        }
+        results.push(("Neo".into(), run_learned(LearnedOptimizer::neo(seed), &db, &wl, seed)));
+        results.push(("DQ".into(), run_learned(LearnedOptimizer::dq(seed), &db, &wl, seed)));
+
+        let mut t = Table::new(&["System", "25%", "50%", "75%", "100% of queries", "Total (s)"]);
+        for (label, clocks) in &results {
+            let cps = checkpoints(clocks, 4);
+            t.row(vec![
+                label.clone(),
+                cps[0].clone(),
+                cps[1].clone(),
+                cps[2].clone(),
+                cps[3].clone(),
+                format!("{:.1}", clocks.last().unwrap() / 1_000.0),
+            ]);
+        }
+        t.print();
+    }
+    println!();
+    println!("Cells are the elapsed time at which each system finished that fraction");
+    println!("of the workload (lower is better).");
+}

@@ -1,0 +1,55 @@
+//! Figure 15a: value-model ablation — Bao with its TCNN vs a random
+//! forest vs a linear model, plus the single best hint set and
+//! PostgreSQL, on the first IMDb queries with a cold cache.
+
+use bao_bench::{bao_settings, build_workload, print_header, Args, Table, WorkloadName};
+use bao_cloud::N1_16;
+use bao_harness::{ModelKind, RunConfig, Runner, Strategy};
+use bao_opt::HintSet;
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.scale(0.15);
+    let n = args.queries(300);
+    let seed = args.seed();
+    let arms = args.usize("arms", 12);
+
+    print_header(
+        "Figure 15a: value model ablation (IMDb prefix, cold cache)",
+        &format!("(scale {scale}, {n} queries; paper: simpler models perform substantially worse)"),
+    );
+
+    let (db, wl) = build_workload(WorkloadName::Imdb, scale, n, seed).expect("workload");
+    let mut table = Table::new(&["System", "Exec time (s)", "vs PostgreSQL"]);
+    let mut pg_total = 0.0;
+
+    let mk_bao = |model: ModelKind| {
+        let mut s = bao_settings(arms, n);
+        s.model = model;
+        Strategy::Bao(s)
+    };
+    let systems: Vec<(&str, Strategy)> = vec![
+        ("PostgreSQL", Strategy::Traditional),
+        ("Bao (TCNN)", mk_bao(ModelKind::TcnnSmall)),
+        ("Bao (random forest)", mk_bao(ModelKind::RandomForest)),
+        ("Bao (linear)", mk_bao(ModelKind::Linear)),
+        // §6.3: the single best hint set (disable loop join) applied always.
+        ("Best single hint set", Strategy::FixedHint(HintSet::from_masks(0b011, 0b111))),
+    ];
+    for (label, strategy) in systems {
+        let mut cfg = RunConfig::new(N1_16, strategy);
+        cfg.cold_cache = true;
+        cfg.seed = seed;
+        let res = Runner::new(cfg, db.clone()).run(&wl).expect("run");
+        let total = res.total_exec.as_secs();
+        if label == "PostgreSQL" {
+            pg_total = total;
+        }
+        table.row(vec![
+            label.to_string(),
+            format!("{total:.2}"),
+            format!("{:.2}x", total / pg_total),
+        ]);
+    }
+    table.print();
+}

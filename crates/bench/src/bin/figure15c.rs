@@ -1,0 +1,75 @@
+//! Figure 15c: time to train Bao's model as a function of the sliding
+//! window size k — measured wall-clock on this machine alongside the
+//! simulated GPU seconds billed by the cloud model.
+
+use bao_bench::{build_workload, print_header, Args, Table, WorkloadName};
+use bao_cloud::{gpu_train_time, N1_16};
+use bao_core::Featurizer;
+use bao_exec::execute;
+use bao_models::{TcnnModel, ValueModel};
+use bao_nn::{TcnnConfig, TrainConfig};
+use bao_opt::{HintSet, Optimizer};
+use bao_stats::StatsCatalog;
+use bao_storage::BufferPool;
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.scale(0.1);
+    let seed = args.seed();
+    let max_k = args.usize("max-window", 2_000);
+
+    print_header(
+        "Figure 15c: model training time vs window size k",
+        &format!("(scale {scale}; paper: roughly linear in k, ~3 minutes of GPU at k = 5000)"),
+    );
+
+    // Gather a pool of real experiences by executing workload queries.
+    let (db, wl) =
+        build_workload(WorkloadName::Imdb, scale, max_k.min(600), seed).expect("workload");
+    let cat = StatsCatalog::analyze(&db, 1_000, seed);
+    let opt = Optimizer::postgres();
+    let featurizer = Featurizer::new(true);
+    let mut pool = BufferPool::new(N1_16.buffer_pool_pages());
+    let rates = N1_16.charge_rates();
+    let mut trees = Vec::new();
+    let mut ys = Vec::new();
+    for step in &wl.steps {
+        let plan = opt.plan(&step.query, &db, &cat, HintSet::all_enabled()).unwrap();
+        let m = execute(&plan.root, &step.query, &db, &mut pool, &opt.params, &rates).unwrap();
+        trees.push(featurizer.featurize(&plan.root, &step.query, &db, Some(&pool)));
+        ys.push(m.latency.as_ms());
+    }
+    // Replicate to reach the largest window.
+    while trees.len() < max_k {
+        let i = trees.len() % wl.len();
+        trees.push(trees[i].clone());
+        ys.push(ys[i]);
+    }
+
+    let mut t = Table::new(&[
+        "Window k",
+        "Epochs",
+        "Wall train (s, CPU here)",
+        "Simulated GPU (s)",
+    ]);
+    for k in [250usize, 500, 1_000, max_k] {
+        let mut model = TcnnModel::new(
+            TcnnConfig::small(featurizer.input_dim()),
+            TrainConfig::default(),
+        );
+        let started = std::time::Instant::now();
+        model.fit(&trees[..k], &ys[..k], seed);
+        let wall = started.elapsed().as_secs_f64();
+        let epochs = model.last_epochs();
+        t.row(vec![
+            format!("{k}"),
+            format!("{epochs}"),
+            format!("{wall:.2}"),
+            format!("{:.1}", gpu_train_time(k, epochs).as_secs()),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("Training time grows with the window; the paper tunes k to trade model");
+    println!("quality against GPU budget (k = 2000 worked well for its workloads).");
+}

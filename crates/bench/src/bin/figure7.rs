@@ -1,0 +1,60 @@
+//! Figure 7: cost (left) and workload latency (right) for Bao and the two
+//! traditional optimizers across the three workloads, on an N1-16 VM.
+//!
+//! (a) Bao on the PostgreSQL-like engine vs the PostgreSQL-like optimizer;
+//! (b) Bao on the ComSys-like engine vs the ComSys-like optimizer.
+
+use bao_bench::{bao_settings, build_workload, print_header, Args, Table, WorkloadName};
+use bao_cloud::N1_16;
+use bao_harness::{RunConfig, Runner, Strategy};
+use bao_opt::OptimizerProfile;
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.scale(0.15);
+    let n = args.queries(400);
+    let seed = args.seed();
+    let arms = args.usize("arms", 6);
+
+    print_header(
+        "Figure 7: cost and workload latency, Bao vs traditional optimizers (N1-16)",
+        &format!("(scale {scale}, {n} queries, {arms} arms; paper: ~50% vs PostgreSQL, ~20% vs ComSys)"),
+    );
+
+    for (profile, sys) in [
+        (OptimizerProfile::PostgresLike, "PostgreSQL"),
+        (OptimizerProfile::ComSysLike, "ComSys"),
+    ] {
+        println!("\n--- (vs {sys} optimizer, on the {sys}-like engine)");
+        let mut t = Table::new(&["Workload", "System", "Cost (USD)", "Time (min)", "Bao/Trad"]);
+        for name in WorkloadName::ALL {
+            let (db, wl) = build_workload(name, scale, n, seed).expect("workload");
+            let mut results = Vec::new();
+            for (label, strategy) in [
+                (sys.to_string(), Strategy::Traditional),
+                ("Bao".to_string(), Strategy::Bao(bao_settings(arms, n))),
+            ] {
+                let mut cfg = RunConfig::new(N1_16, strategy);
+                cfg.profile = profile;
+                cfg.seed = seed;
+                let res = Runner::new(cfg, db.clone()).run(&wl).expect("run");
+                results.push((label, res));
+            }
+            let trad_time = results[0].1.workload_time().as_secs();
+            for (label, res) in &results {
+                let cost = res.cost(N1_16);
+                t.row(vec![
+                    name.label().to_string(),
+                    label.clone(),
+                    format!("{:.4}", cost.total_usd()),
+                    format!("{:.2}", res.workload_time().as_secs() / 60.0),
+                    format!("{:.2}", res.workload_time().as_secs() / trad_time),
+                ]);
+            }
+        }
+        t.print();
+    }
+    println!();
+    println!("Bao's rows include GPU training cost; the ratio column is Bao's");
+    println!("workload time relative to the traditional optimizer (lower is better).");
+}

@@ -1,0 +1,56 @@
+//! Figure 8: cost and workload latency across four VM classes for the
+//! IMDb workload — (a) vs the PostgreSQL-like optimizer, (b) vs ComSys.
+
+use bao_bench::{bao_settings, build_workload, print_header, Args, Table, WorkloadName};
+use bao_cloud::ALL_VMS;
+use bao_harness::{RunConfig, Runner, Strategy};
+use bao_opt::OptimizerProfile;
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.scale(0.15);
+    let n = args.queries(400);
+    let seed = args.seed();
+    let arms = args.usize("arms", 6);
+
+    print_header(
+        "Figure 8: cost and latency across VM types (IMDb)",
+        &format!("(scale {scale}, {n} queries; paper: Bao's edge over PostgreSQL grows with VM size)"),
+    );
+
+    let (db, wl) =
+        build_workload(WorkloadName::Imdb, scale, n, seed).expect("workload");
+
+    for (profile, sys) in [
+        (OptimizerProfile::PostgresLike, "PostgreSQL"),
+        (OptimizerProfile::ComSysLike, "ComSys"),
+    ] {
+        println!("\n--- (vs {sys})");
+        let mut t =
+            Table::new(&["VM", "System", "Cost (USD)", "Time (min)", "Bao/Trad"]);
+        for vm in ALL_VMS {
+            let mut results = Vec::new();
+            for (label, strategy) in [
+                (sys.to_string(), Strategy::Traditional),
+                ("Bao".to_string(), Strategy::Bao(bao_settings(arms, n))),
+            ] {
+                let mut cfg = RunConfig::new(vm, strategy);
+                cfg.profile = profile;
+                cfg.seed = seed;
+                let res = Runner::new(cfg, db.clone()).run(&wl).expect("run");
+                results.push((label, res));
+            }
+            let trad = results[0].1.workload_time().as_secs();
+            for (label, res) in &results {
+                t.row(vec![
+                    vm.name.to_string(),
+                    label.clone(),
+                    format!("{:.4}", res.cost(vm).total_usd()),
+                    format!("{:.2}", res.workload_time().as_secs() / 60.0),
+                    format!("{:.2}", res.workload_time().as_secs() / trad),
+                ]);
+            }
+        }
+        t.print();
+    }
+}

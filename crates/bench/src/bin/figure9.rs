@@ -1,0 +1,47 @@
+//! Figure 9: per-query latency percentiles (median / 95% / 99% / 99.5%)
+//! for each VM class, Bao vs the PostgreSQL-like optimizer (top row) and
+//! Bao vs the ComSys-like optimizer (bottom row), IMDb workload.
+
+use bao_bench::{bao_settings, build_workload, percentile_row, print_header, Args, Table, WorkloadName};
+use bao_cloud::ALL_VMS;
+use bao_harness::{RunConfig, Runner, Strategy};
+use bao_opt::OptimizerProfile;
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.scale(0.15);
+    let n = args.queries(400);
+    let seed = args.seed();
+    let arms = args.usize("arms", 6);
+
+    print_header(
+        "Figure 9: tail latency percentiles per VM type (IMDb)",
+        &format!(
+            "(scale {scale}, {n} queries; paper: Bao drastically reduces p99/p99.5 vs PostgreSQL)"
+        ),
+    );
+
+    let (db, wl) = build_workload(WorkloadName::Imdb, scale, n, seed).expect("workload");
+
+    for (profile, sys) in [
+        (OptimizerProfile::PostgresLike, "PostgreSQL"),
+        (OptimizerProfile::ComSysLike, "ComSys"),
+    ] {
+        println!("\n--- engine/optimizer: {sys}");
+        for vm in ALL_VMS {
+            let mut t = Table::new(&["System", "p50", "p95", "p99", "p99.5"]);
+            for (label, strategy) in [
+                (sys.to_string(), Strategy::Traditional),
+                ("Bao".to_string(), Strategy::Bao(bao_settings(arms, n))),
+            ] {
+                let mut cfg = RunConfig::new(vm, strategy);
+                cfg.profile = profile;
+                cfg.seed = seed;
+                let res = Runner::new(cfg, db.clone()).run(&wl).expect("run");
+                t.row(percentile_row(&label, &res.latencies_ms()));
+            }
+            println!("[{}]", vm.name);
+            t.print();
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! §6.3 analysis: which hints matter?
+//!
+//! 1. Is one hint set good for all queries? (paper: the best single hint
+//!    set — disable loop join — still loses to PostgreSQL overall.)
+//! 2. Which hint sets contribute most of the oracle's improvement?
+//!    (paper: the top 5 account for 93%.)
+//! 3. How do chosen plans differ from PostgreSQL's? (paper: operator
+//!    changes in 4271/5000, access paths 3792/5000, join order 2110/5000.)
+
+use bao_bench::{build_workload, print_header, Args, Table, WorkloadName};
+use bao_cloud::N1_16;
+use bao_harness::{plan_change_stats, RunConfig, Runner, Strategy};
+use bao_opt::HintSet;
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.scale(0.12);
+    let n = args.queries(150);
+    let seed = args.seed();
+    let arm_count = args.usize("arms", 49);
+
+    print_header(
+        "Section 6.3: which hint sets matter? (IMDb, exhaustive per-arm execution)",
+        &format!("(scale {scale}, {n} queries, {arm_count} arms)"),
+    );
+
+    let (db, wl) = build_workload(WorkloadName::Imdb, scale, n, seed).expect("workload");
+    let arms = HintSet::top_arms(arm_count);
+
+    // Oracle run: per-query per-arm performances + optimal plan choices.
+    let mut cfg = RunConfig::new(N1_16, Strategy::Optimal { arms: arms.clone() });
+    cfg.cold_cache = true;
+    cfg.seed = seed;
+    let oracle = Runner::new(cfg, db.clone()).run(&wl).expect("oracle run");
+
+    // Default plans for plan-change comparison.
+    let mut cfg = RunConfig::new(N1_16, Strategy::Traditional);
+    cfg.cold_cache = true;
+    cfg.seed = seed;
+    let default = Runner::new(cfg, db.clone()).run(&wl).expect("default run");
+
+    // (1) single best hint set over the whole workload.
+    let n_arms = arms.len();
+    let mut arm_totals = vec![0.0f64; n_arms];
+    let mut pg_total = 0.0;
+    let mut optimal_total = 0.0;
+    for r in &oracle.records {
+        let perfs = r.arm_perfs.as_ref().expect("oracle records have per-arm perfs");
+        for (i, &p) in perfs.iter().enumerate() {
+            arm_totals[i] += p;
+        }
+        pg_total += perfs[0];
+        optimal_total += perfs.iter().cloned().fold(f64::INFINITY, f64::min);
+    }
+    let best_single = (1..n_arms)
+        .min_by(|&a, &b| arm_totals[a].partial_cmp(&arm_totals[b]).unwrap())
+        .unwrap();
+    println!("\n(1) One hint set for every query?");
+    let mut t = Table::new(&["Strategy", "Workload exec (s)"]);
+    t.row(vec!["PostgreSQL optimizer".into(), format!("{:.2}", pg_total / 1e3)]);
+    t.row(vec![
+        format!("best single hint set [{}]", arms[best_single]),
+        format!("{:.2}", arm_totals[best_single] / 1e3),
+    ]);
+    t.row(vec!["optimal per-query hints".into(), format!("{:.2}", optimal_total / 1e3)]);
+    t.print();
+
+    // (2) marginal contribution of each arm: greedy set cover of the
+    // oracle's improvement.
+    println!("\n(2) Which hint sets account for the improvement? (greedy marginal gain)");
+    let total_gain = pg_total - optimal_total;
+    let mut current_best: Vec<f64> = oracle
+        .records
+        .iter()
+        .map(|r| r.arm_perfs.as_ref().unwrap()[0])
+        .collect();
+    let mut chosen: Vec<usize> = vec![];
+    let mut t = Table::new(&["Rank", "Hint set", "Marginal share of total gain"]);
+    for rank in 1..=5.min(n_arms - 1) {
+        let mut best_arm = 0;
+        let mut best_gain = 0.0;
+        for a in 1..n_arms {
+            if chosen.contains(&a) {
+                continue;
+            }
+            let gain: f64 = oracle
+                .records
+                .iter()
+                .zip(&current_best)
+                .map(|(r, &cur)| (cur - r.arm_perfs.as_ref().unwrap()[a]).max(0.0))
+                .sum();
+            if gain > best_gain {
+                best_gain = gain;
+                best_arm = a;
+            }
+        }
+        if best_gain <= 0.0 {
+            break;
+        }
+        for (r, cur) in oracle.records.iter().zip(current_best.iter_mut()) {
+            *cur = cur.min(r.arm_perfs.as_ref().unwrap()[best_arm]);
+        }
+        chosen.push(best_arm);
+        t.row(vec![
+            format!("{rank}"),
+            format!("{}", arms[best_arm]),
+            format!("{:.0}%", 100.0 * best_gain / total_gain.max(1e-9)),
+        ]);
+    }
+    t.print();
+
+    // (3) how do the optimal plans differ from PostgreSQL's?
+    println!("\n(3) Plan changes induced by the chosen hints (vs PostgreSQL's plan)");
+    let mut ops = 0;
+    let mut paths = 0;
+    let mut orders = 0;
+    for (o, d) in oracle.records.iter().zip(default.records.iter()) {
+        let c = plan_change_stats(&d.plan, &o.plan);
+        ops += c.operators_changed as usize;
+        paths += c.access_paths_changed as usize;
+        orders += c.join_order_changed as usize;
+    }
+    let mut t = Table::new(&["Change", "Queries affected"]);
+    t.row(vec!["different operators".into(), format!("{ops}/{n}")]);
+    t.row(vec!["different access paths".into(), format!("{paths}/{n}")]);
+    t.row(vec!["different join order".into(), format!("{orders}/{n}")]);
+    t.print();
+}

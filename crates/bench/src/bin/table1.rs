@@ -1,0 +1,39 @@
+//! Table 1: evaluation dataset sizes, query counts, and whether the
+//! workload (WL), data, and schema are static or dynamic.
+
+use bao_bench::{build_workload, print_header, Args, Table, WorkloadName};
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.scale(0.2);
+    let n = args.queries(200);
+    let seed = args.seed();
+
+    print_header(
+        "Table 1: evaluation datasets",
+        &format!("(scale {scale}, {n} queries per workload, seed {seed})"),
+    );
+    let mut t = Table::new(&["Dataset", "Size", "Queries", "WL", "Data", "Schema"]);
+    for name in WorkloadName::ALL {
+        let (db, wl) = build_workload(name, scale, n, seed).expect("build workload");
+        let mb = db.total_size_bytes() as f64 / (1024.0 * 1024.0);
+        let (wl_dyn, data_dyn, schema_dyn) = match name {
+            WorkloadName::Imdb => ("Dynamic", "Static", "Static"),
+            WorkloadName::Stack => ("Dynamic", "Dynamic", "Static"),
+            WorkloadName::Corp => ("Dynamic", "Static", "Dynamic"),
+        };
+        t.row(vec![
+            name.label().to_string(),
+            format!("{mb:.1} MB"),
+            format!("{}", wl.len()),
+            wl_dyn.to_string(),
+            data_dyn.to_string(),
+            schema_dyn.to_string(),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("Paper reports IMDb 7.2 GB / Stack 100 GB / Corp 1 TB with 5000/5000/2000");
+    println!("queries; this reproduction runs the same shapes at reduced scale");
+    println!("(see DESIGN.md §1). Rerun with --scale/--queries to grow the datasets.");
+}

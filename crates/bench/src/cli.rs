@@ -1,0 +1,107 @@
+//! Minimal `--flag value` argument parsing for the experiment binaries
+//! (kept dependency-free; the workspace's allowed crates don't include an
+//! argument parser).
+
+use std::collections::HashMap;
+
+/// Parsed command-line flags with typed, defaulted accessors.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    flags: HashMap<String, String>,
+    present: Vec<String>,
+}
+
+impl Args {
+    /// Parse from `std::env::args()` (skipping the binary name).
+    pub fn from_env() -> Args {
+        Args::parse(std::env::args().skip(1))
+    }
+
+    pub fn parse(iter: impl IntoIterator<Item = String>) -> Args {
+        let mut flags = HashMap::new();
+        let mut present = Vec::new();
+        let mut iter = iter.into_iter().peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                present.push(name.to_string());
+                // value if the next token isn't another flag
+                if let Some(v) = iter.peek() {
+                    if !v.starts_with("--") {
+                        flags.insert(name.to_string(), iter.next().expect("peeked"));
+                        continue;
+                    }
+                }
+                flags.insert(name.to_string(), String::new());
+            }
+        }
+        Args { flags, present }
+    }
+
+    pub fn usize(&self, name: &str, default: usize) -> usize {
+        self.flags.get(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    pub fn u64(&self, name: &str, default: u64) -> u64 {
+        self.flags.get(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    pub fn f64(&self, name: &str, default: f64) -> f64 {
+        self.flags.get(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    pub fn string(&self, name: &str, default: &str) -> String {
+        self.flags.get(name).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    pub fn has(&self, name: &str) -> bool {
+        self.present.iter().any(|p| p == name)
+    }
+
+    /// Common knobs shared by every experiment binary.
+    pub fn queries(&self, default: usize) -> usize {
+        self.usize("queries", default)
+    }
+
+    pub fn scale(&self, default: f64) -> f64 {
+        self.f64("scale", default)
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.u64("seed", 42)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn typed_accessors_with_defaults() {
+        let a = parse("--queries 200 --scale 0.5 --seed 7 --verbose");
+        assert_eq!(a.queries(100), 200);
+        assert_eq!(a.scale(1.0), 0.5);
+        assert_eq!(a.seed(), 7);
+        assert!(a.has("verbose"));
+        assert!(!a.has("missing"));
+        assert_eq!(a.usize("missing", 9), 9);
+        assert_eq!(a.string("name", "x"), "x");
+    }
+
+    #[test]
+    fn bad_values_fall_back() {
+        let a = parse("--queries banana");
+        assert_eq!(a.queries(42), 42);
+        assert!(a.has("queries"));
+    }
+
+    #[test]
+    fn flag_followed_by_flag() {
+        let a = parse("--cold --queries 5");
+        assert!(a.has("cold"));
+        assert_eq!(a.queries(0), 5);
+    }
+}

@@ -1,0 +1,17 @@
+//! Shared infrastructure for the experiment binaries (`src/bin/*`): a tiny
+//! CLI argument parser, text-table/percentile reporting, standard workload
+//! setups, and strategy bundles.
+//!
+//! Every table and figure in the paper's evaluation has a binary here; see
+//! DESIGN.md §3 for the index and EXPERIMENTS.md for recorded results.
+//! All binaries accept `--queries N --scale F --seed S` (and
+//! experiment-specific flags) so results can be regenerated at larger
+//! scales.
+
+pub mod cli;
+pub mod report;
+pub mod setups;
+
+pub use cli::Args;
+pub use report::{percentile_row, print_header, print_table, Table};
+pub use setups::{bao_settings, build_workload, WorkloadName};

@@ -1,0 +1,12 @@
+//! Shared primitives for the Bao reproduction: error type, deterministic
+//! RNG construction, simulated-time units, and small numeric utilities used
+//! across every crate in the workspace.
+
+pub mod error;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use error::{BaoError, Result};
+pub use rng::{rng_from_seed, split_seed};
+pub use time::SimDuration;

@@ -1,0 +1,62 @@
+//! Deterministic RNG construction.
+//!
+//! Every stochastic component in the workspace (data generation, workload
+//! sampling, bootstrap resampling, weight initialization, Thompson
+//! sampling) receives an explicit `u64` seed, so that experiments are
+//! reproducible run-to-run and property tests can shrink reliably.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Construct a deterministic RNG from a seed.
+pub fn rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derive an independent child seed from a parent seed and a stream label.
+///
+/// Uses the SplitMix64 finalizer, so nearby `(seed, stream)` pairs produce
+/// uncorrelated outputs. This lets one top-level experiment seed fan out to
+/// per-component seeds without accidental stream overlap.
+pub fn split_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(stream.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let a: Vec<u32> = (0..16).map({
+            let mut r = rng_from_seed(42);
+            move |_| r.gen()
+        }).collect();
+        let b: Vec<u32> = (0..16).map({
+            let mut r = rng_from_seed(42);
+            move |_| r.gen()
+        }).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn split_seed_distinguishes_streams() {
+        let s1 = split_seed(7, 0);
+        let s2 = split_seed(7, 1);
+        let s3 = split_seed(8, 0);
+        assert_ne!(s1, s2);
+        assert_ne!(s1, s3);
+        assert_ne!(s2, s3);
+    }
+
+    #[test]
+    fn split_seed_is_pure() {
+        assert_eq!(split_seed(123, 45), split_seed(123, 45));
+    }
+}

@@ -1,0 +1,381 @@
+//! The Bao orchestrator: arm planning, model-based selection, and the
+//! Thompson-sampling training loop.
+
+use crate::experience::Experience;
+use crate::featurize::Featurizer;
+use bao_common::{split_seed, Result};
+use bao_models::{bootstrap_sample, TcnnModel, ValueModel};
+use bao_nn::FeatTree;
+use bao_opt::{HintSet, Optimizer, PlanOutput};
+use bao_plan::{PlanNode, Query};
+use bao_stats::StatsCatalog;
+use bao_storage::{BufferPool, Database};
+use std::time::Duration;
+
+/// Bao configuration (paper §6.1 defaults: 48/49 arms, window k = 2000,
+/// retrain every n = 100 queries, cache features on).
+#[derive(Debug, Clone)]
+pub struct BaoConfig {
+    pub arms: Vec<HintSet>,
+    /// Sliding window size k.
+    pub window_size: usize,
+    /// Retrain period n (queries between model resamples).
+    pub retrain_interval: usize,
+    /// Augment scan-node vectors with buffer-cache state.
+    pub cache_features: bool,
+    /// Per-query activation (paper §4): when false Bao only observes and
+    /// always selects the unhinted optimizer's plan.
+    pub enabled: bool,
+    /// Thompson sampling via bootstrap (true, the paper's approach) or
+    /// maximum-likelihood training on the full window (the no-exploration
+    /// ablation).
+    pub bootstrap: bool,
+    /// Plan the arms concurrently across OS threads (paper §6.2: "Bao
+    /// makes heavy use of parallelism, concurrently planning each arm").
+    /// Results are identical either way; only wall-clock changes.
+    pub parallel_planning: bool,
+    pub seed: u64,
+}
+
+impl Default for BaoConfig {
+    fn default() -> Self {
+        BaoConfig {
+            arms: HintSet::family_49(),
+            window_size: 2_000,
+            retrain_interval: 100,
+            cache_features: true,
+            enabled: true,
+            bootstrap: true,
+            parallel_planning: true,
+            seed: 0,
+        }
+    }
+}
+
+/// Bao's choice for one query.
+#[derive(Debug, Clone)]
+pub struct Selection {
+    /// Index into [`BaoConfig::arms`].
+    pub arm: usize,
+    pub hints: HintSet,
+    pub plan: PlanNode,
+    /// Featurization of the chosen plan — pass back to [`Bao::observe`]
+    /// with the observed performance.
+    pub tree: FeatTree,
+    /// Per-arm model predictions (`None` when the model is unfitted or
+    /// the arm was not evaluated).
+    pub predictions: Vec<Option<f64>>,
+    /// Total planning effort across all planned arms (simulated
+    /// optimization time derives from this).
+    pub planning_work: u64,
+    /// Planning effort per planned arm (the cloud model turns this into
+    /// parallel or sequential optimization time).
+    pub per_arm_work: Vec<u64>,
+    /// Number of arms actually planned (1 when Bao is disabled).
+    pub arms_planned: usize,
+}
+
+/// Result of one model retrain.
+#[derive(Debug, Clone)]
+pub struct RetrainReport {
+    pub wall: Duration,
+    pub experience_size: usize,
+    /// Training epochs (0 for models without an epoch notion).
+    pub epochs: usize,
+    /// Extra refit rounds spent satisfying critical queries (§4).
+    pub critical_rounds: usize,
+}
+
+/// A performance-critical query's exhaustively explored arms (paper §4
+/// "triggered exploration").
+#[derive(Debug, Clone)]
+struct CriticalGroup {
+    label: String,
+    /// One (plan tree, observed perf) per arm.
+    entries: Vec<(FeatTree, f64)>,
+}
+
+/// The bandit optimizer.
+pub struct Bao {
+    pub cfg: BaoConfig,
+    featurizer: Featurizer,
+    model: Box<dyn ValueModel>,
+    experience: Experience,
+    since_retrain: usize,
+    retrains: usize,
+    critical: Vec<CriticalGroup>,
+    /// Cumulative wall-clock time spent training (Figure 15c).
+    pub total_train_wall: Duration,
+}
+
+impl Bao {
+    /// Bao with the default TCNN value model.
+    pub fn new(cfg: BaoConfig) -> Bao {
+        let featurizer = Featurizer::new(cfg.cache_features);
+        let model = Box::new(TcnnModel::with_defaults(featurizer.input_dim()));
+        Bao::with_model(cfg, model)
+    }
+
+    /// Bao with a custom value model (the Figure 15a ablation swaps in a
+    /// random forest / linear model here).
+    pub fn with_model(cfg: BaoConfig, model: Box<dyn ValueModel>) -> Bao {
+        assert!(!cfg.arms.is_empty(), "Bao needs at least one arm");
+        let featurizer = Featurizer::new(cfg.cache_features);
+        let window = cfg.window_size;
+        Bao {
+            cfg,
+            featurizer,
+            model,
+            experience: Experience::new(window),
+            since_retrain: 0,
+            retrains: 0,
+            critical: Vec::new(),
+            total_train_wall: Duration::ZERO,
+        }
+    }
+
+    pub fn featurizer(&self) -> &Featurizer {
+        &self.featurizer
+    }
+
+    pub fn model_name(&self) -> &'static str {
+        self.model.name()
+    }
+
+    pub fn is_model_fitted(&self) -> bool {
+        self.model.is_fitted()
+    }
+
+    pub fn experience_len(&self) -> usize {
+        self.experience.len()
+    }
+
+    pub fn retrains(&self) -> usize {
+        self.retrains
+    }
+
+    /// Predict performance of an arbitrary featurized plan (advisor mode
+    /// uses this; `None` before the first training).
+    pub fn predict(&self, tree: &FeatTree) -> Option<f64> {
+        self.model.predict(tree).ok()
+    }
+
+    /// Plan the query under every arm and select the plan with the best
+    /// predicted performance. Falls back to the unhinted optimizer when
+    /// Bao is disabled or the model is not yet fitted (paper: "Bao can be
+    /// configured to start out using only the traditional optimizer").
+    pub fn select_plan(
+        &self,
+        opt: &Optimizer,
+        query: &Query,
+        db: &Database,
+        cat: &StatsCatalog,
+        pool: Option<&BufferPool>,
+    ) -> Result<Selection> {
+        if !self.cfg.enabled || !self.model.is_fitted() {
+            let out = opt.plan(query, db, cat, self.cfg.arms[0])?;
+            let mut root = out.root;
+            bao_opt::annotate_estimates(&mut root, query, db, cat, opt.estimator(), &opt.params)?;
+            let tree = self.featurizer.featurize(&root, query, db, pool);
+            return Ok(Selection {
+                arm: 0,
+                hints: self.cfg.arms[0],
+                plan: root,
+                tree,
+                predictions: vec![None; self.cfg.arms.len()],
+                planning_work: out.work,
+                per_arm_work: vec![out.work],
+                arms_planned: 1,
+            });
+        }
+        let (selection, _) = self.evaluate_arms(opt, query, db, cat, pool)?;
+        Ok(selection)
+    }
+
+    /// Plan and predict every arm; returns the winning selection plus the
+    /// full per-arm (plan, tree) list (advisor mode and the experiment
+    /// harness's oracle both need it).
+    pub fn evaluate_arms(
+        &self,
+        opt: &Optimizer,
+        query: &Query,
+        db: &Database,
+        cat: &StatsCatalog,
+        pool: Option<&BufferPool>,
+    ) -> Result<(Selection, Vec<(PlanNode, FeatTree)>)> {
+        let outputs: Vec<PlanOutput> = if self.cfg.parallel_planning
+            && self.cfg.arms.len() > 1
+        {
+            // One planner invocation per arm, fanned out over threads.
+            // Planning is read-only over (query, db, cat), so arms are
+            // embarrassingly parallel; results come back in arm order.
+            let results: Vec<Result<PlanOutput>> = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .cfg
+                    .arms
+                    .iter()
+                    .map(|&arm| scope.spawn(move |_| opt.plan(query, db, cat, arm)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("planner thread")).collect()
+            })
+            .expect("planning scope");
+            results.into_iter().collect::<Result<Vec<_>>>()?
+        } else {
+            let mut outputs = Vec::with_capacity(self.cfg.arms.len());
+            for &arm in &self.cfg.arms {
+                outputs.push(opt.plan(query, db, cat, arm)?);
+            }
+            outputs
+        };
+        let planning_work: u64 = outputs.iter().map(|o| o.work).sum();
+        let per_arm_work: Vec<u64> = outputs.iter().map(|o| o.work).collect();
+        // Hinted plans carry `disable_cost` penalties in their estimates
+        // when a hint cannot be fully honoured; re-annotate with
+        // penalty-free estimates so the model's cost/cardinality features
+        // reflect expected runtime rather than planner bookkeeping.
+        let mut pairs: Vec<(PlanNode, FeatTree)> = Vec::with_capacity(outputs.len());
+        for o in outputs {
+            let mut root = o.root;
+            bao_opt::annotate_estimates(&mut root, query, db, cat, opt.estimator(), &opt.params)?;
+            let tree = self.featurizer.featurize(&root, query, db, pool);
+            pairs.push((root, tree));
+        }
+        let predictions: Vec<Option<f64>> =
+            pairs.iter().map(|(_, t)| self.model.predict(t).ok()).collect();
+        let best = predictions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.map(|v| (i, v)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite predictions"))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let (plan, tree) = pairs[best].clone();
+        let arms_planned = pairs.len();
+        Ok((
+            Selection {
+                arm: best,
+                hints: self.cfg.arms[best],
+                plan,
+                tree,
+                predictions,
+                planning_work,
+                per_arm_work,
+                arms_planned,
+            },
+            pairs,
+        ))
+    }
+
+    /// Record an observed (plan, performance) pair and retrain when the
+    /// period elapses. Off-policy observations (plans Bao did not select,
+    /// paper §4) go through the same path.
+    pub fn observe(&mut self, tree: FeatTree, perf: f64) -> Option<RetrainReport> {
+        self.experience.add(tree, perf);
+        self.since_retrain += 1;
+        if self.since_retrain >= self.cfg.retrain_interval {
+            Some(self.retrain_now())
+        } else {
+            None
+        }
+    }
+
+    /// Register a performance-critical query whose arms were exhaustively
+    /// executed (paper §4 "triggered exploration"). Future retrains
+    /// guarantee the model ranks this query's best arm first.
+    pub fn add_critical(&mut self, label: impl Into<String>, entries: Vec<(FeatTree, f64)>) {
+        assert!(!entries.is_empty());
+        self.critical.push(CriticalGroup { label: label.into(), entries });
+    }
+
+    pub fn critical_labels(&self) -> Vec<&str> {
+        self.critical.iter().map(|g| g.label.as_str()).collect()
+    }
+
+    /// Immediately resample the model from the current experience.
+    pub fn retrain_now(&mut self) -> RetrainReport {
+        let started = std::time::Instant::now();
+        self.since_retrain = 0;
+        self.retrains += 1;
+        let seed = split_seed(self.cfg.seed, self.retrains as u64);
+        let (trees, ys) = self.experience.training_data();
+
+        // Bootstrap resample (Thompson) or the raw window (MLE ablation).
+        let (mut train_trees, mut train_ys): (Vec<FeatTree>, Vec<f64>) = if self.cfg.bootstrap {
+            let idx = bootstrap_sample(trees.len(), split_seed(seed, 99));
+            (
+                idx.iter().map(|&i| trees[i].clone()).collect(),
+                idx.iter().map(|&i| ys[i]).collect(),
+            )
+        } else {
+            (trees, ys)
+        };
+        // Critical experiences always participate (flagged, never evicted).
+        for g in &self.critical {
+            for (t, y) in &g.entries {
+                train_trees.push(t.clone());
+                train_ys.push(*y);
+            }
+        }
+
+        let mut critical_rounds = 0;
+        const MAX_CRITICAL_ROUNDS: usize = 4;
+        loop {
+            self.model.fit(&train_trees, &train_ys, split_seed(seed, critical_rounds as u64));
+            // Verify every critical group: the model must pick its true
+            // best arm; re-weight (duplicate) violated groups and refit.
+            let mut violated = Vec::new();
+            for g in &self.critical {
+                let true_best = argmin(g.entries.iter().map(|&(_, y)| y));
+                let preds: Vec<f64> = g
+                    .entries
+                    .iter()
+                    .map(|(t, _)| self.model.predict(t).unwrap_or(f64::INFINITY))
+                    .collect();
+                let pred_best = argmin(preds.iter().copied());
+                // Arms frequently alias to the same physical plan; the
+                // guarantee is about *plans*, so a predicted winner whose
+                // plan tree equals the true best's is correct.
+                if g.entries[pred_best].0 != g.entries[true_best].0 {
+                    violated.push(g.clone());
+                }
+            }
+            if violated.is_empty() || critical_rounds >= MAX_CRITICAL_ROUNDS {
+                break;
+            }
+            critical_rounds += 1;
+            for g in violated {
+                for (t, y) in g.entries {
+                    train_trees.push(t);
+                    train_ys.push(y);
+                }
+            }
+        }
+
+        let wall = started.elapsed();
+        self.total_train_wall += wall;
+        RetrainReport {
+            wall,
+            experience_size: self.experience.len(),
+            epochs: self.model.last_epochs(),
+            critical_rounds,
+        }
+    }
+
+    /// Change the experience window (the Figure 15c sweep).
+    pub fn set_window(&mut self, window: usize) {
+        self.cfg.window_size = window;
+        self.experience.set_window(window);
+    }
+}
+
+fn argmin(vals: impl Iterator<Item = f64>) -> usize {
+    let mut best = 0;
+    let mut best_v = f64::INFINITY;
+    for (i, v) in vals.enumerate() {
+        if v < best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}

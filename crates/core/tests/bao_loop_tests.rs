@@ -1,0 +1,268 @@
+//! End-to-end tests of Bao's learning loop against the real substrate:
+//! optimizer + executor + buffer pool. These are the first tests where
+//! every paper component runs together.
+
+use bao_core::{Bao, BaoConfig};
+use bao_exec::{execute, ChargeRates};
+use bao_nn::{TcnnConfig, TrainConfig};
+use bao_opt::{HintSet, Optimizer};
+use bao_plan::Query;
+use bao_sql::parse_query;
+use bao_stats::StatsCatalog;
+use bao_storage::{BufferPool, ColumnDef, Database, DataType, Schema, Table, Value};
+
+/// A schema engineered so the PostgreSQL-style optimizer reliably errs on
+/// one query family: `kind = 2 AND year = 2010` is heavily underestimated
+/// (the columns are correlated), sending the default optimizer into a
+/// parameterized nested loop whose outer is 40× larger than estimated.
+fn setup(seed_rows: i64) -> (Database, StatsCatalog) {
+    let mut title = Table::new(
+        "title",
+        Schema::new(vec![
+            ColumnDef::new("id", DataType::Int),
+            ColumnDef::new("kind", DataType::Int),
+            ColumnDef::new("year", DataType::Int),
+        ]),
+    );
+    for i in 0..seed_rows {
+        let kind = if i % 5 == 0 { 2 } else { 1 };
+        let year = if kind == 2 { 2010 } else { 1950 + (i % 60) };
+        title.insert(vec![Value::Int(i), Value::Int(kind), Value::Int(year)]).unwrap();
+    }
+    let mut ci = Table::new(
+        "cast_info",
+        Schema::new(vec![
+            ColumnDef::new("movie_id", DataType::Int),
+            ColumnDef::new("role", DataType::Int),
+        ]),
+    );
+    for i in 0..(seed_rows * 6) {
+        ci.insert(vec![Value::Int((i * 31) % seed_rows), Value::Int(i % 11)]).unwrap();
+    }
+    let mut db = Database::new();
+    db.create_table(title).unwrap();
+    db.create_table(ci).unwrap();
+    db.create_index("title", "id").unwrap();
+    db.create_index("title", "year").unwrap();
+    db.create_index("cast_info", "movie_id").unwrap();
+    let cat = StatsCatalog::analyze(&db, 1_000, 3);
+    (db, cat)
+}
+
+fn small_bao(arms: Vec<HintSet>, n: usize, k: usize) -> Bao {
+    let cfg = BaoConfig {
+        arms,
+        window_size: k,
+        retrain_interval: n,
+        cache_features: true,
+        enabled: true,
+        bootstrap: true,
+        parallel_planning: true,
+        seed: 7,
+    };
+    let featurizer_dim = bao_core::Featurizer::new(true).input_dim();
+    let model = bao_models::TcnnModel::new(
+        TcnnConfig::tiny(featurizer_dim),
+        TrainConfig { max_epochs: 30, ..TrainConfig::default() },
+    );
+    Bao::with_model(cfg, Box::new(model))
+}
+
+fn queries() -> Vec<Query> {
+    // A mix: correlated-filter joins (hint-sensitive) and plain scans.
+    let mut qs = Vec::new();
+    for year in [2010, 2005, 1999, 1980, 1960] {
+        qs.push(
+            parse_query(&format!(
+                "SELECT COUNT(*) FROM title t, cast_info ci \
+                 WHERE t.id = ci.movie_id AND t.kind = 2 AND t.year = {year}"
+            ))
+            .unwrap(),
+        );
+        qs.push(
+            parse_query(&format!(
+                "SELECT COUNT(*) FROM title t WHERE t.year >= {year}"
+            ))
+            .unwrap(),
+        );
+    }
+    qs
+}
+
+#[test]
+fn before_training_bao_uses_default_optimizer() {
+    let (db, cat) = setup(5_000);
+    let bao = small_bao(HintSet::family_49(), 10, 100);
+    let opt = Optimizer::postgres();
+    let pool = BufferPool::new(512);
+    let q = &queries()[0];
+    let sel = bao.select_plan(&opt, q, &db, &cat, Some(&pool)).unwrap();
+    assert_eq!(sel.arm, 0);
+    assert_eq!(sel.arms_planned, 1);
+    assert!(sel.predictions.iter().all(|p| p.is_none()));
+}
+
+#[test]
+fn bao_learning_loop_runs_and_improves_selection() {
+    let (db, cat) = setup(5_000);
+    // 3 arms: default, no-nested-loop, hash-only — enough to learn from.
+    let arms = vec![
+        HintSet::all_enabled(),
+        HintSet::from_masks(0b011, 0b111),
+        HintSet::from_masks(0b001, 0b111),
+    ];
+    let mut bao = small_bao(arms, 8, 200);
+    let opt = Optimizer::postgres();
+    let mut pool = BufferPool::new(2_048);
+    let rates = ChargeRates::default();
+    let qs = queries();
+
+    let mut retrained = 0;
+    for round in 0..4 {
+        for q in &qs {
+            let sel = bao.select_plan(&opt, q, &db, &cat, Some(&pool)).unwrap();
+            let m = execute(&sel.plan, q, &db, &mut pool, &opt.params, &rates).unwrap();
+            if bao.observe(sel.tree, m.latency.as_ms()).is_some() {
+                retrained += 1;
+            }
+        }
+        let _ = round;
+    }
+    assert!(retrained >= 2, "expected periodic retrains, got {retrained}");
+    assert!(bao.is_model_fitted());
+    assert!(bao.total_train_wall.as_nanos() > 0);
+
+    // After training, Bao plans all arms and produces predictions.
+    let sel = bao.select_plan(&opt, &qs[0], &db, &cat, Some(&pool)).unwrap();
+    assert_eq!(sel.arms_planned, 3);
+    assert!(sel.predictions.iter().all(|p| p.is_some()));
+}
+
+#[test]
+fn observations_respect_window() {
+    let (db, cat) = setup(2_000);
+    let mut bao = small_bao(HintSet::family_49(), 1_000, 5);
+    let opt = Optimizer::postgres();
+    let mut pool = BufferPool::new(512);
+    let rates = ChargeRates::default();
+    for q in queries().iter().take(8) {
+        let sel = bao.select_plan(&opt, q, &db, &cat, Some(&pool)).unwrap();
+        let m = execute(&sel.plan, q, &db, &mut pool, &opt.params, &rates).unwrap();
+        bao.observe(sel.tree, m.latency.as_ms());
+    }
+    assert_eq!(bao.experience_len(), 5, "window k=5 must cap experience");
+}
+
+#[test]
+fn disabled_bao_observes_but_never_hints() {
+    let (db, cat) = setup(2_000);
+    let mut bao = small_bao(HintSet::family_49(), 4, 100);
+    bao.cfg.enabled = false;
+    let opt = Optimizer::postgres();
+    let mut pool = BufferPool::new(512);
+    let rates = ChargeRates::default();
+    for q in queries().iter().take(6) {
+        let sel = bao.select_plan(&opt, q, &db, &cat, Some(&pool)).unwrap();
+        assert_eq!(sel.arm, 0, "disabled Bao must use the default optimizer");
+        let m = execute(&sel.plan, q, &db, &mut pool, &opt.params, &rates).unwrap();
+        bao.observe(sel.tree, m.latency.as_ms());
+    }
+    // It still learned (off-policy, advisor-style).
+    assert!(bao.is_model_fitted());
+}
+
+#[test]
+fn advisor_mode_renders_figure_6() {
+    let (db, cat) = setup(3_000);
+    let mut bao = small_bao(
+        vec![HintSet::all_enabled(), HintSet::from_masks(0b011, 0b111)],
+        4,
+        100,
+    );
+    let opt = Optimizer::postgres();
+    let mut pool = BufferPool::new(512);
+    let rates = ChargeRates::default();
+    let qs = queries();
+    assert!(bao.advise(&opt, &qs[0], &db, &cat, Some(&pool)).is_err(), "unfitted");
+    for q in qs.iter().take(5) {
+        let sel = bao.select_plan(&opt, q, &db, &cat, Some(&pool)).unwrap();
+        let m = execute(&sel.plan, q, &db, &mut pool, &opt.params, &rates).unwrap();
+        bao.observe(sel.tree, m.latency.as_ms());
+    }
+    let advice = bao.advise(&opt, &qs[0], &db, &cat, Some(&pool)).unwrap();
+    let text = advice.render();
+    assert!(text.contains("Bao prediction:"), "{text}");
+    assert!(text.contains("Bao recommended hint:"));
+    assert!(advice.predicted_default_ms.is_finite());
+}
+
+#[test]
+fn triggered_exploration_pins_critical_queries() {
+    let (db, cat) = setup(4_000);
+    // Arms that genuinely produce different plans: the default optimizer
+    // versus a forced nested-loop-only, seq-scan-only plan (the naive
+    // quadratic rescan — dramatically slower).
+    let arms = vec![HintSet::all_enabled(), HintSet::from_masks(0b100, 0b001)];
+    let mut bao = small_bao(arms, 1_000_000, 500);
+    let opt = Optimizer::postgres();
+    let mut pool = BufferPool::new(2_048);
+    let rates = ChargeRates::default();
+    let q = &queries()[0];
+
+    // Execute every arm for the critical query (what "marking" a query
+    // triggers in §4), then register it.
+    let (_, pairs) = bao.evaluate_arms(&opt, q, &db, &cat, Some(&pool)).unwrap();
+    assert_ne!(pairs[0].1, pairs[1].1, "arms must produce distinct plans for this test");
+    let mut entries = Vec::new();
+    let mut perfs = Vec::new();
+    for (plan, tree) in pairs {
+        pool.clear(); // fair cold-cache comparison between arms
+        let m = execute(&plan, q, &db, &mut pool, &opt.params, &rates).unwrap();
+        perfs.push(m.latency.as_ms());
+        entries.push((tree, m.latency.as_ms()));
+    }
+    let best_arm = perfs
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap()
+        .0;
+    bao.add_critical("q16b", entries);
+    assert_eq!(bao.critical_labels(), vec!["q16b"]);
+
+    // Seed some generic experience and retrain.
+    for other in queries().iter().skip(1).take(5) {
+        let sel = bao.select_plan(&opt, other, &db, &cat, Some(&pool)).unwrap();
+        let m = execute(&sel.plan, other, &db, &mut pool, &opt.params, &rates).unwrap();
+        bao.observe(sel.tree, m.latency.as_ms());
+    }
+    bao.retrain_now();
+
+    // The model must now select the critical query's true best arm.
+    let sel = bao.select_plan(&opt, q, &db, &cat, Some(&pool)).unwrap();
+    assert_eq!(
+        sel.arm, best_arm,
+        "critical query must get its known-best arm (predictions: {:?}, perfs: {:?})",
+        sel.predictions, perfs
+    );
+}
+
+#[test]
+fn parallel_and_sequential_planning_agree() {
+    let (db, cat) = setup(3_000);
+    let opt = Optimizer::postgres();
+    let pool = BufferPool::new(512);
+    let mk = |parallel| {
+        let mut bao = small_bao(HintSet::top_arms(8), 1_000, 100);
+        bao.cfg.parallel_planning = parallel;
+        bao
+    };
+    for q in queries().iter().take(6) {
+        let (a, _) = mk(true).evaluate_arms(&opt, q, &db, &cat, Some(&pool)).unwrap();
+        let (b, _) = mk(false).evaluate_arms(&opt, q, &db, &cat, Some(&pool)).unwrap();
+        assert_eq!(a.arm, b.arm);
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(a.per_arm_work, b.per_arm_work);
+        assert_eq!(a.tree, b.tree);
+    }
+}

@@ -1,0 +1,122 @@
+//! Predicate compilation and cell access for execution.
+
+use bao_common::{BaoError, Result};
+use bao_plan::{ColRef, Predicate};
+use bao_storage::{ColumnData, Table};
+
+/// A filter predicate compiled against a concrete column: comparisons run
+/// on resolved numeric keys (dictionary codes for text).
+#[derive(Debug, Clone)]
+pub struct CompiledPred<'a> {
+    pub col: &'a ColumnData,
+    pub op: bao_plan::CmpOp,
+    pub x: f64,
+}
+
+impl CompiledPred<'_> {
+    pub fn matches_row(&self, row: u32) -> bool {
+        let v = cell_key(self.col, row);
+        match v.partial_cmp(&self.x) {
+            Some(ord) => self.op.matches(ord),
+            None => false,
+        }
+    }
+}
+
+/// Compile predicates that all filter the same table.
+pub fn compile_preds<'a>(table: &'a Table, preds: &[Predicate]) -> Result<Vec<CompiledPred<'a>>> {
+    preds
+        .iter()
+        .map(|p| {
+            let resolved = bao_stats::resolve_predicate(table, p);
+            let col = table.column(&p.col.column)?;
+            Ok(CompiledPred { col, op: resolved.op, x: resolved.x })
+        })
+        .collect()
+}
+
+/// A cell as a comparable/joinable f64 key: raw value for ints and floats,
+/// dictionary code for text.
+pub fn cell_key(col: &ColumnData, row: u32) -> f64 {
+    match col {
+        ColumnData::Float(v) => v[row as usize],
+        keyed => keyed.key_at(row as usize).expect("keyed column") as f64,
+    }
+}
+
+/// A cell as an integer join key. Errors for float columns (the planner
+/// never emits float join keys).
+pub fn cell_join_key(col: &ColumnData, row: u32) -> Result<i64> {
+    col.key_at(row as usize)
+        .ok_or_else(|| BaoError::TypeMismatch("float columns cannot be join keys".into()))
+}
+
+/// Resolve a column reference to its column, given per-FROM-position
+/// tables.
+pub fn column_of<'a>(tables: &[&'a Table], c: &ColRef) -> Result<&'a ColumnData> {
+    tables
+        .get(c.table)
+        .ok_or_else(|| BaoError::InvalidQuery(format!("FROM position {} out of range", c.table)))?
+        .column(&c.column)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bao_plan::CmpOp;
+    use bao_storage::{ColumnDef, DataType, Schema, Value};
+
+    fn table() -> Table {
+        let mut t = Table::new(
+            "t",
+            Schema::new(vec![
+                ColumnDef::new("x", DataType::Int),
+                ColumnDef::new("s", DataType::Text),
+                ColumnDef::new("f", DataType::Float),
+            ]),
+        );
+        t.insert(vec![Value::Int(10), Value::Str("a".into()), Value::Float(1.5)]).unwrap();
+        t.insert(vec![Value::Int(20), Value::Str("b".into()), Value::Float(2.5)]).unwrap();
+        t
+    }
+
+    #[test]
+    fn compile_and_match() {
+        let t = table();
+        let preds = vec![
+            Predicate::new(ColRef::new(0, "x"), CmpOp::Ge, Value::Int(15)),
+            Predicate::new(ColRef::new(0, "s"), CmpOp::Eq, Value::Str("b".into())),
+        ];
+        let compiled = compile_preds(&t, &preds).unwrap();
+        assert!(!compiled[0].matches_row(0));
+        assert!(compiled[0].matches_row(1));
+        assert!(compiled[1].matches_row(1));
+        assert!(!compiled[1].matches_row(0));
+    }
+
+    #[test]
+    fn missing_text_literal_matches_nothing() {
+        let t = table();
+        let preds =
+            vec![Predicate::new(ColRef::new(0, "s"), CmpOp::Eq, Value::Str("zzz".into()))];
+        let compiled = compile_preds(&t, &preds).unwrap();
+        assert!(!compiled[0].matches_row(0));
+        assert!(!compiled[0].matches_row(1));
+    }
+
+    #[test]
+    fn cell_keys() {
+        let t = table();
+        assert_eq!(cell_key(t.column("x").unwrap(), 1), 20.0);
+        assert_eq!(cell_key(t.column("f").unwrap(), 0), 1.5);
+        assert_eq!(cell_join_key(t.column("x").unwrap(), 0).unwrap(), 10);
+        assert!(cell_join_key(t.column("f").unwrap(), 0).is_err());
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let t = table();
+        let preds = vec![Predicate::new(ColRef::new(0, "nope"), CmpOp::Eq, Value::Int(1))];
+        assert!(compile_preds(&t, &preds).is_err());
+    }
+}

@@ -1,0 +1,16 @@
+//! Experiment harness: runs (workload × optimizer × strategy × VM)
+//! combinations with the paper's time-series-split evaluation protocol
+//! (§6.1: Bao is always evaluated on the next, never-before-seen query,
+//! and only the executed decision's reward enters its experience).
+//!
+//! Each paper figure's binary in `bao-bench` composes these pieces.
+
+pub mod armstats;
+pub mod oracle;
+pub mod runner;
+
+pub use armstats::{plan_change_stats, PlanChanges};
+pub use oracle::{exhaustive_arm_perfs, regret_of};
+pub use runner::{
+    run_once, BaoSettings, ModelKind, QueryRecord, RunConfig, RunResult, Runner, Strategy,
+};

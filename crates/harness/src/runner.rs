@@ -1,0 +1,409 @@
+//! The workload runner.
+
+use bao_cloud::{gpu_train_time, CostReport, VmType};
+use bao_common::{split_seed, BaoError, Result, SimDuration};
+use bao_core::{Bao, BaoConfig};
+use bao_exec::{execute, PerfMetric};
+use bao_models::{LinearModel, RandomForestModel, TcnnModel, ValueModel};
+use bao_nn::{TcnnConfig, TrainConfig};
+use bao_opt::{HintSet, Optimizer, OptimizerProfile};
+use bao_plan::PlanNode;
+use bao_stats::StatsCatalog;
+use bao_storage::{BufferPool, Database};
+use bao_workloads::{apply_event, Workload};
+
+/// Which value model Bao runs with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// Reduced-width TCNN (default for experiment sweeps).
+    TcnnSmall,
+    /// The paper's full 256/128/64+32 TCNN.
+    TcnnPaper,
+    /// Tiny TCNN for fast smoke runs and unit tests.
+    TcnnFast,
+    RandomForest,
+    Linear,
+}
+
+impl ModelKind {
+    pub fn build(self, input_dim: usize) -> Box<dyn ValueModel> {
+        match self {
+            // Paper stopping rule: <=100 epochs or convergence; slightly
+            // hotter optimizer and stricter plateau detection than the
+            // library default so small windows still reach convergence.
+            ModelKind::TcnnSmall => Box::new(TcnnModel::new(
+                TcnnConfig::small(input_dim),
+                TrainConfig {
+                    adam: bao_nn::AdamConfig { lr: 3e-3, ..Default::default() },
+                    min_improvement: 0.002,
+                    ..TrainConfig::default()
+                },
+            )),
+            ModelKind::TcnnPaper => Box::new(TcnnModel::new(
+                TcnnConfig::paper(input_dim),
+                TrainConfig::default(),
+            )),
+            ModelKind::TcnnFast => Box::new(TcnnModel::new(
+                TcnnConfig::tiny(input_dim),
+                TrainConfig { max_epochs: 20, ..TrainConfig::default() },
+            )),
+            ModelKind::RandomForest => Box::new(RandomForestModel::default()),
+            ModelKind::Linear => Box::new(LinearModel::default()),
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::TcnnSmall => "tcnn",
+            ModelKind::TcnnPaper => "tcnn-paper",
+            ModelKind::TcnnFast => "tcnn-fast",
+            ModelKind::RandomForest => "random-forest",
+            ModelKind::Linear => "linear",
+        }
+    }
+}
+
+/// Bao's knobs for a run (paper defaults in [`BaoSettings::default`]).
+#[derive(Debug, Clone)]
+pub struct BaoSettings {
+    pub arms: Vec<HintSet>,
+    pub model: ModelKind,
+    pub window: usize,
+    pub retrain: usize,
+    pub cache_features: bool,
+    pub bootstrap: bool,
+}
+
+impl Default for BaoSettings {
+    fn default() -> Self {
+        BaoSettings {
+            arms: HintSet::family_49(),
+            model: ModelKind::TcnnSmall,
+            window: 2_000,
+            retrain: 100,
+            cache_features: true,
+            bootstrap: true,
+        }
+    }
+}
+
+impl BaoSettings {
+    /// Smaller settings for experiment sweeps that repeat many runs.
+    pub fn fast(n_arms: usize) -> Self {
+        BaoSettings {
+            arms: HintSet::top_arms(n_arms),
+            model: ModelKind::TcnnFast,
+            window: 500,
+            retrain: 50,
+            ..BaoSettings::default()
+        }
+    }
+}
+
+/// What selects plans during the run.
+#[derive(Debug, Clone)]
+pub enum Strategy {
+    /// The traditional optimizer (PostgreSQL / ComSys baseline).
+    Traditional,
+    /// Bao in active mode.
+    Bao(BaoSettings),
+    /// One fixed hint set for every query (§6.3 "best single hint set").
+    FixedHint(HintSet),
+    /// Per-query oracle: execute every arm (on a cache snapshot), run the
+    /// true best. Also records per-arm performances for regret analysis.
+    Optimal { arms: Vec<HintSet> },
+}
+
+/// Full configuration of one run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    pub vm: VmType,
+    pub profile: OptimizerProfile,
+    pub metric: PerfMetric,
+    pub strategy: Strategy,
+    /// Clear the buffer pool before every query (the C2 cold-cache
+    /// experiments of Figures 15a/16).
+    pub cold_cache: bool,
+    /// Plan arms one-at-a-time instead of in parallel (Figure 12).
+    pub sequential_arms: bool,
+    pub seed: u64,
+    pub stats_sample: usize,
+}
+
+impl RunConfig {
+    pub fn new(vm: VmType, strategy: Strategy) -> RunConfig {
+        RunConfig {
+            vm,
+            profile: OptimizerProfile::PostgresLike,
+            metric: PerfMetric::Latency,
+            strategy,
+            cold_cache: false,
+            sequential_arms: false,
+            seed: 0,
+            stats_sample: 1_000,
+        }
+    }
+}
+
+/// Per-query observation.
+#[derive(Debug, Clone)]
+pub struct QueryRecord {
+    pub idx: usize,
+    pub label: String,
+    /// Arm executed (0 = unhinted).
+    pub arm: usize,
+    pub opt_time: SimDuration,
+    pub latency: SimDuration,
+    pub cpu_time: SimDuration,
+    pub physical_io: u64,
+    /// Value of the configured performance metric.
+    pub perf: f64,
+    /// Cumulative workload clock (optimization + execution) when this
+    /// query finished — Figure 10's x-axis.
+    pub clock: SimDuration,
+    /// Simulated GPU seconds if a retrain followed this query.
+    pub gpu_time: SimDuration,
+    /// Oracle runs: the performance of every arm (cache-snapshot
+    /// isolated), for regret and Figure 11.
+    pub arm_perfs: Option<Vec<f64>>,
+    /// The executed plan (kept for §6.3 plan-change analysis).
+    pub plan: PlanNode,
+}
+
+/// Everything observed during one run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    pub records: Vec<QueryRecord>,
+    pub total_exec: SimDuration,
+    pub total_opt: SimDuration,
+    pub total_gpu: SimDuration,
+    /// Real wall-clock spent training models in this process.
+    pub wall_train: std::time::Duration,
+}
+
+impl RunResult {
+    /// End-to-end workload time (training overlaps execution per §3.2 —
+    /// GPU time is billed but does not extend the clock).
+    pub fn workload_time(&self) -> SimDuration {
+        self.total_exec + self.total_opt
+    }
+
+    pub fn cost(&self, vm: VmType) -> CostReport {
+        CostReport::compute(vm, self.workload_time(), self.total_gpu)
+    }
+
+    pub fn latencies_ms(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.latency.as_ms()).collect()
+    }
+
+    pub fn perfs(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.perf).collect()
+    }
+
+    /// (elapsed seconds, queries completed) pairs — Figure 10's curve.
+    pub fn convergence_curve(&self) -> Vec<(f64, usize)> {
+        self.records.iter().enumerate().map(|(i, r)| (r.clock.as_secs(), i + 1)).collect()
+    }
+}
+
+/// Drives one workload under one configuration.
+pub struct Runner {
+    cfg: RunConfig,
+    db: Database,
+    cat: StatsCatalog,
+    pool: BufferPool,
+    opt: Optimizer,
+    bao: Option<Bao>,
+}
+
+impl Runner {
+    pub fn new(cfg: RunConfig, db: Database) -> Runner {
+        let cat = StatsCatalog::analyze(&db, cfg.stats_sample, split_seed(cfg.seed, 1));
+        let opt = match cfg.profile {
+            OptimizerProfile::PostgresLike => Optimizer::postgres(),
+            OptimizerProfile::ComSysLike => Optimizer::comsys(),
+        };
+        let pool = BufferPool::new(cfg.vm.buffer_pool_pages());
+        let bao = match &cfg.strategy {
+            Strategy::Bao(settings) => {
+                let bao_cfg = BaoConfig {
+                    arms: settings.arms.clone(),
+                    window_size: settings.window,
+                    retrain_interval: settings.retrain,
+                    cache_features: settings.cache_features,
+                    enabled: true,
+                    bootstrap: settings.bootstrap,
+                    parallel_planning: true,
+                    seed: split_seed(cfg.seed, 2),
+                };
+                let dim = bao_core::Featurizer::new(settings.cache_features).input_dim();
+                Some(Bao::with_model(bao_cfg, settings.model.build(dim)))
+            }
+            _ => None,
+        };
+        Runner { cfg, db, cat, pool, opt, bao }
+    }
+
+    /// Override the buffer pool size (Figure 13's in-memory regime).
+    pub fn with_pool_pages(mut self, pages: usize) -> Runner {
+        self.pool = BufferPool::new(pages);
+        self
+    }
+
+    /// Access the Bao instance (e.g. to register critical queries).
+    pub fn bao_mut(&mut self) -> Option<&mut Bao> {
+        self.bao.as_mut()
+    }
+
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Execute the full workload.
+    pub fn run(mut self, workload: &Workload) -> Result<RunResult> {
+        let mut records = Vec::with_capacity(workload.len());
+        let mut clock = SimDuration::ZERO;
+        let mut total_exec = SimDuration::ZERO;
+        let mut total_opt = SimDuration::ZERO;
+        let mut total_gpu = SimDuration::ZERO;
+        let mut wall_train = std::time::Duration::ZERO;
+
+        for (idx, step) in workload.steps.iter().enumerate() {
+            if let Some(ev) = &step.event {
+                apply_event(&mut self.db, ev, split_seed(self.cfg.seed, 77))?;
+                self.cat = StatsCatalog::analyze(
+                    &self.db,
+                    self.cfg.stats_sample,
+                    split_seed(self.cfg.seed, 78 + idx as u64),
+                );
+                // New/rebuilt objects invalidate prior cache contents.
+                self.pool.clear();
+            }
+            if self.cfg.cold_cache {
+                self.pool.clear();
+            }
+
+            let q = &step.query;
+            let (arm, plan, tree, per_arm_work, arm_perfs) = match &self.cfg.strategy {
+                Strategy::Traditional => {
+                    let out = self.opt.plan(q, &self.db, &self.cat, HintSet::all_enabled())?;
+                    (0, out.root, None, vec![out.work], None)
+                }
+                Strategy::FixedHint(h) => {
+                    let out = self.opt.plan(q, &self.db, &self.cat, *h)?;
+                    (0, out.root, None, vec![out.work], None)
+                }
+                Strategy::Bao(_) => {
+                    let bao = self.bao.as_ref().expect("bao strategy has instance");
+                    let sel =
+                        bao.select_plan(&self.opt, q, &self.db, &self.cat, Some(&self.pool))?;
+                    (sel.arm, sel.plan, Some(sel.tree), sel.per_arm_work, None)
+                }
+                Strategy::Optimal { arms } => {
+                    let mut works = Vec::with_capacity(arms.len());
+                    let mut plans = Vec::with_capacity(arms.len());
+                    for &h in arms {
+                        let out = self.opt.plan(q, &self.db, &self.cat, h)?;
+                        works.push(out.work);
+                        plans.push(out.root);
+                    }
+                    // Evaluate each arm against a snapshot of the cache.
+                    let mut perfs = Vec::with_capacity(plans.len());
+                    for plan in &plans {
+                        let mut snapshot = self.pool.clone();
+                        let m = execute(
+                            plan,
+                            q,
+                            &self.db,
+                            &mut snapshot,
+                            &self.opt.params,
+                            &self.cfg.vm.charge_rates(),
+                        )?;
+                        perfs.push(m.perf(self.cfg.metric));
+                    }
+                    let best = argmin(&perfs);
+                    (best, plans.swap_remove(best), None, works, Some(perfs))
+                }
+            };
+
+            let opt_time = self.cfg.vm.optimization_time(&per_arm_work, self.cfg.sequential_arms);
+            let metrics = execute(
+                &plan,
+                q,
+                &self.db,
+                &mut self.pool,
+                &self.opt.params,
+                &self.cfg.vm.charge_rates(),
+            )?;
+            let perf = metrics.perf(self.cfg.metric);
+
+            // Feed Bao's experience and retrain on schedule.
+            let mut gpu_time = SimDuration::ZERO;
+            if let (Some(bao), Some(tree)) = (self.bao.as_mut(), tree) {
+                if let Some(report) = bao.observe(tree, perf) {
+                    gpu_time = gpu_train_time(report.experience_size, report.epochs.max(1));
+                    wall_train += report.wall;
+                }
+            }
+
+            clock += opt_time + metrics.latency;
+            total_exec += metrics.latency;
+            total_opt += opt_time;
+            total_gpu += gpu_time;
+            records.push(QueryRecord {
+                idx,
+                label: step.label.clone(),
+                arm,
+                opt_time,
+                latency: metrics.latency,
+                cpu_time: metrics.cpu_time,
+                physical_io: metrics.page_misses,
+                perf,
+                clock,
+                gpu_time,
+                arm_perfs,
+                plan,
+            });
+            drop(metrics);
+        }
+
+        Ok(RunResult { records, total_exec, total_opt, total_gpu, wall_train })
+    }
+}
+
+fn argmin(vals: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, v) in vals.iter().enumerate() {
+        if *v < vals[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Convenience: run one configuration over a freshly cloned database.
+pub fn run_once(cfg: RunConfig, db: &Database, workload: &Workload) -> Result<RunResult> {
+    Runner::new(cfg, db.clone()).run(workload)
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Strategy::Traditional => write!(f, "traditional"),
+            Strategy::Bao(s) => write!(f, "bao[{} arms, {}]", s.arms.len(), s.model.name()),
+            Strategy::FixedHint(h) => write!(f, "fixed[{h}]"),
+            Strategy::Optimal { arms } => write!(f, "optimal[{} arms]", arms.len()),
+        }
+    }
+}
+
+impl RunResult {
+    /// Guard against silently-empty runs in experiment binaries.
+    pub fn ensure_non_empty(&self) -> Result<()> {
+        if self.records.is_empty() {
+            Err(BaoError::Config("run produced no records".into()))
+        } else {
+            Ok(())
+        }
+    }
+}

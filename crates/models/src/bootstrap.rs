@@ -1,0 +1,49 @@
+//! Bootstrap resampling — the Thompson-sampling mechanism.
+//!
+//! Paper §3.1.2: "the network is trained using |E| random samples drawn
+//! with replacement from E, inducing the desired sampling properties"
+//! (Osband & Van Roy [63]). Training on a fresh bootstrap each retrain
+//! approximates sampling model parameters from P(θ | E).
+
+use bao_common::rng_from_seed;
+use rand::Rng;
+
+/// Draw `n` indices uniformly with replacement from `0..n`.
+pub fn bootstrap_sample(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = rng_from_seed(seed);
+    (0..n).map(|_| rng.gen_range(0..n.max(1))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_length_and_range() {
+        let s = bootstrap_sample(100, 1);
+        assert_eq!(s.len(), 100);
+        assert!(s.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn resamples_with_replacement() {
+        let s = bootstrap_sample(200, 2);
+        let mut uniq = s.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        // A bootstrap of n items covers ~63% unique on average.
+        assert!(uniq.len() < 180, "expected duplicates, got {} unique", uniq.len());
+        assert!(uniq.len() > 80);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(bootstrap_sample(50, 7), bootstrap_sample(50, 7));
+        assert_ne!(bootstrap_sample(50, 7), bootstrap_sample(50, 8));
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        assert!(bootstrap_sample(0, 3).is_empty());
+    }
+}

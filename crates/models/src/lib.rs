@@ -1,0 +1,51 @@
+//! Value models: predictors mapping featurized plan trees to expected
+//! performance.
+//!
+//! Bao's production model is the TCNN ([`TcnnModel`]); the paper's
+//! Figure 15a ablation swaps in a random forest and a linear model over
+//! pooled features and shows both underperform badly — all three live
+//! here behind the common [`ValueModel`] trait. Bootstrap resampling (the
+//! Thompson-sampling mechanism of paper §3.1.2) is provided as a shared
+//! utility.
+
+pub mod bootstrap;
+pub mod forest;
+pub mod linear;
+pub mod norm;
+pub mod pooled;
+pub mod tcnn;
+
+use bao_common::Result;
+use bao_nn::FeatTree;
+
+pub use bootstrap::bootstrap_sample;
+pub use forest::RandomForestModel;
+pub use linear::LinearModel;
+pub use norm::TargetNorm;
+pub use pooled::{pooled_features, pooled_dim};
+pub use tcnn::TcnnModel;
+
+/// A trainable performance predictor over featurized plan trees.
+///
+/// `fit` replaces any previous state (Bao retrains from scratch on each
+/// Thompson-sampling iteration); targets are raw performance values
+/// (milliseconds or I/O counts) — models normalize internally.
+pub trait ValueModel: Send {
+    fn name(&self) -> &'static str;
+
+    /// Train on the given experience. `seed` drives weight init and any
+    /// internal randomness, so refits are reproducible.
+    fn fit(&mut self, trees: &[FeatTree], targets: &[f64], seed: u64);
+
+    /// Predict performance for one plan tree, in target units.
+    /// Errors if the model has never been fitted.
+    fn predict(&self, tree: &FeatTree) -> Result<f64>;
+
+    fn is_fitted(&self) -> bool;
+
+    /// Epochs run by the most recent `fit` (0 for models without an epoch
+    /// notion). Used for training-time accounting (paper Figure 15c).
+    fn last_epochs(&self) -> usize {
+        0
+    }
+}

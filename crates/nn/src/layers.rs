@@ -1,0 +1,278 @@
+//! Layer forward/backward kernels.
+//!
+//! All kernels operate on node-major activation buffers (`n_nodes × c`)
+//! and are written as free functions so the network's tape (in `net.rs`)
+//! owns every cached activation explicitly — no hidden state, which makes
+//! the finite-difference gradient check in `net.rs` meaningful.
+
+use crate::param::Param;
+
+/// Parameters of one tree-convolution layer: a triangle filter with
+/// separate weights for the node, its left child, and its right child.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct TreeConvParams {
+    pub top: Param,
+    pub left: Param,
+    pub right: Param,
+    pub bias: Param,
+}
+
+impl TreeConvParams {
+    pub fn new(in_c: usize, out_c: usize, seed: u64) -> Self {
+        TreeConvParams {
+            top: Param::he(out_c, in_c, seed),
+            left: Param::he(out_c, in_c, seed.wrapping_add(1)),
+            right: Param::he(out_c, in_c, seed.wrapping_add(2)),
+            bias: Param::zeros(out_c, 1),
+        }
+    }
+
+    pub fn out_c(&self) -> usize {
+        self.top.rows
+    }
+
+    pub fn in_c(&self) -> usize {
+        self.top.cols
+    }
+}
+
+/// Tree convolution: `y[i] = W_top x[i] + W_left x[l(i)] + W_right x[r(i)]
+/// + b`, with missing children contributing zero.
+pub fn tree_conv_forward(
+    p: &TreeConvParams,
+    left: &[i32],
+    right: &[i32],
+    x: &[f32],
+) -> Vec<f32> {
+    let (in_c, out_c) = (p.in_c(), p.out_c());
+    let n = left.len();
+    debug_assert_eq!(x.len(), n * in_c);
+    let mut y = vec![0.0f32; n * out_c];
+    for i in 0..n {
+        let yi = &mut y[i * out_c..(i + 1) * out_c];
+        for (o, b) in yi.iter_mut().zip(p.bias.w.iter()) {
+            *o = *b;
+        }
+        p.top.matvec_add(&x[i * in_c..(i + 1) * in_c], yi);
+        if left[i] >= 0 {
+            let l = left[i] as usize;
+            p.left.matvec_add(&x[l * in_c..(l + 1) * in_c], yi);
+        }
+        if right[i] >= 0 {
+            let r = right[i] as usize;
+            p.right.matvec_add(&x[r * in_c..(r + 1) * in_c], yi);
+        }
+    }
+    y
+}
+
+/// Backward pass of [`tree_conv_forward`]; accumulates parameter
+/// gradients and returns `dx`.
+pub fn tree_conv_backward(
+    p: &mut TreeConvParams,
+    left: &[i32],
+    right: &[i32],
+    x: &[f32],
+    dy: &[f32],
+) -> Vec<f32> {
+    let (in_c, out_c) = (p.in_c(), p.out_c());
+    let n = left.len();
+    let mut dx = vec![0.0f32; n * in_c];
+    for i in 0..n {
+        let dyi = &dy[i * out_c..(i + 1) * out_c];
+        for (bg, &d) in p.bias.g.iter_mut().zip(dyi.iter()) {
+            *bg += d;
+        }
+        let xi = &x[i * in_c..(i + 1) * in_c];
+        p.top.grad_outer_add(dyi, xi);
+        p.top.matvec_t_add(dyi, &mut dx[i * in_c..(i + 1) * in_c]);
+        if left[i] >= 0 {
+            let l = left[i] as usize;
+            p.left.grad_outer_add(dyi, &x[l * in_c..(l + 1) * in_c]);
+            p.left.matvec_t_add(dyi, &mut dx[l * in_c..(l + 1) * in_c]);
+        }
+        if right[i] >= 0 {
+            let r = right[i] as usize;
+            p.right.grad_outer_add(dyi, &x[r * in_c..(r + 1) * in_c]);
+            p.right.matvec_t_add(dyi, &mut dx[r * in_c..(r + 1) * in_c]);
+        }
+    }
+    dx
+}
+
+/// ReLU, out of place (the output doubles as the backward mask).
+pub fn relu_forward(x: &[f32]) -> Vec<f32> {
+    x.iter().map(|&v| v.max(0.0)).collect()
+}
+
+/// ReLU backward: zero the gradient where the output was clamped.
+pub fn relu_backward(y: &[f32], dy: &[f32]) -> Vec<f32> {
+    y.iter().zip(dy.iter()).map(|(&yv, &d)| if yv > 0.0 { d } else { 0.0 }).collect()
+}
+
+const LN_EPS: f32 = 1e-5;
+
+/// Per-node layer normalization over channels. Returns `(y, xhat,
+/// inv_std)`; the latter two are backward caches.
+pub fn layer_norm_forward(
+    gamma: &Param,
+    beta: &Param,
+    x: &[f32],
+    c: usize,
+) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let n = x.len() / c;
+    let mut y = vec![0.0f32; x.len()];
+    let mut xhat = vec![0.0f32; x.len()];
+    let mut inv_std = vec![0.0f32; n];
+    for i in 0..n {
+        let xi = &x[i * c..(i + 1) * c];
+        let mean = xi.iter().sum::<f32>() / c as f32;
+        let var = xi.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / c as f32;
+        let istd = 1.0 / (var + LN_EPS).sqrt();
+        inv_std[i] = istd;
+        for j in 0..c {
+            let h = (xi[j] - mean) * istd;
+            xhat[i * c + j] = h;
+            y[i * c + j] = gamma.w[j] * h + beta.w[j];
+        }
+    }
+    (y, xhat, inv_std)
+}
+
+/// Layer-norm backward; accumulates `gamma`/`beta` gradients and returns
+/// `dx`.
+pub fn layer_norm_backward(
+    gamma: &mut Param,
+    beta: &mut Param,
+    xhat: &[f32],
+    inv_std: &[f32],
+    dy: &[f32],
+    c: usize,
+) -> Vec<f32> {
+    let n = xhat.len() / c;
+    let mut dx = vec![0.0f32; xhat.len()];
+    for i in 0..n {
+        let h = &xhat[i * c..(i + 1) * c];
+        let d = &dy[i * c..(i + 1) * c];
+        let mut sum_dxhat = 0.0f32;
+        let mut sum_dxhat_h = 0.0f32;
+        for j in 0..c {
+            let dxh = d[j] * gamma.w[j];
+            sum_dxhat += dxh;
+            sum_dxhat_h += dxh * h[j];
+            gamma.g[j] += d[j] * h[j];
+            beta.g[j] += d[j];
+        }
+        let istd = inv_std[i];
+        let cf = c as f32;
+        for j in 0..c {
+            let dxh = d[j] * gamma.w[j];
+            dx[i * c + j] = istd * (dxh - sum_dxhat / cf - h[j] * sum_dxhat_h / cf);
+        }
+    }
+    dx
+}
+
+/// Dynamic max pooling: per-channel max over all nodes. Returns the
+/// pooled vector and the winning node per channel.
+pub fn dyn_pool_forward(x: &[f32], c: usize) -> (Vec<f32>, Vec<usize>) {
+    let n = x.len() / c;
+    debug_assert!(n >= 1);
+    let mut y = vec![f32::NEG_INFINITY; c];
+    let mut arg = vec![0usize; c];
+    for i in 0..n {
+        for j in 0..c {
+            let v = x[i * c + j];
+            if v > y[j] {
+                y[j] = v;
+                arg[j] = i;
+            }
+        }
+    }
+    (y, arg)
+}
+
+/// Scatter pooled gradients back to the winning nodes.
+pub fn dyn_pool_backward(arg: &[usize], dy: &[f32], n: usize, c: usize) -> Vec<f32> {
+    let mut dx = vec![0.0f32; n * c];
+    for j in 0..c {
+        dx[arg[j] * c + j] += dy[j];
+    }
+    dx
+}
+
+/// Fully connected layer on a single vector.
+pub fn linear_forward(w: &Param, b: &Param, x: &[f32]) -> Vec<f32> {
+    let mut y = b.w.clone();
+    w.matvec_add(x, &mut y);
+    y
+}
+
+/// Backward of [`linear_forward`].
+pub fn linear_backward(w: &mut Param, b: &mut Param, x: &[f32], dy: &[f32]) -> Vec<f32> {
+    for (bg, &d) in b.g.iter_mut().zip(dy.iter()) {
+        *bg += d;
+    }
+    w.grad_outer_add(dy, x);
+    let mut dx = vec![0.0f32; w.cols];
+    w.matvec_t_add(dy, &mut dx);
+    dx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_masks() {
+        let y = relu_forward(&[-1.0, 0.0, 2.0]);
+        assert_eq!(y, vec![0.0, 0.0, 2.0]);
+        let dx = relu_backward(&y, &[5.0, 5.0, 5.0]);
+        assert_eq!(dx, vec![0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn pool_and_scatter() {
+        // two nodes, three channels
+        let x = vec![1.0, 9.0, 3.0, 4.0, 2.0, 8.0];
+        let (y, arg) = dyn_pool_forward(&x, 3);
+        assert_eq!(y, vec![4.0, 9.0, 8.0]);
+        assert_eq!(arg, vec![1, 0, 1]);
+        let dx = dyn_pool_backward(&arg, &[0.1, 0.2, 0.3], 2, 3);
+        assert_eq!(dx, vec![0.0, 0.2, 0.0, 0.1, 0.0, 0.3]);
+    }
+
+    #[test]
+    fn layer_norm_normalizes() {
+        let gamma = Param::ones(3, 1);
+        let beta = Param::zeros(3, 1);
+        let (y, _, _) = layer_norm_forward(&gamma, &beta, &[1.0, 2.0, 3.0], 3);
+        let mean: f32 = y.iter().sum::<f32>() / 3.0;
+        assert!(mean.abs() < 1e-5);
+        let var: f32 = y.iter().map(|v| v * v).sum::<f32>() / 3.0;
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn tree_conv_sums_children() {
+        // identity-ish weights: out = top*x + left*xl + right*xr
+        let mut p = TreeConvParams::new(1, 1, 3);
+        p.top = Param::from_weights(1, 1, vec![1.0]);
+        p.left = Param::from_weights(1, 1, vec![10.0]);
+        p.right = Param::from_weights(1, 1, vec![100.0]);
+        p.bias = Param::zeros(1, 1);
+        let left = vec![1, -1, -1];
+        let right = vec![2, -1, -1];
+        let x = vec![1.0, 2.0, 3.0];
+        let y = tree_conv_forward(&p, &left, &right, &x);
+        assert_eq!(y, vec![1.0 + 20.0 + 300.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn linear_known_values() {
+        let w = Param::from_weights(2, 3, vec![1.0, 0.0, 0.0, 0.0, 1.0, 1.0]);
+        let b = Param::from_weights(2, 1, vec![0.5, -0.5]);
+        let y = linear_forward(&w, &b, &[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![1.5, 4.5]);
+    }
+}

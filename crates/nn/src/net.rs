@@ -1,0 +1,463 @@
+//! The tree convolutional neural network of paper Figure 5.
+
+use crate::layers::{
+    dyn_pool_backward, dyn_pool_forward, layer_norm_backward, layer_norm_forward,
+    linear_backward, linear_forward, relu_backward, relu_forward, tree_conv_backward,
+    tree_conv_forward, TreeConvParams,
+};
+use crate::param::Param;
+use crate::tree::FeatTree;
+use bao_common::split_seed;
+use serde::{Deserialize, Serialize};
+
+/// Network shape. `channels` are the three tree-convolution widths and
+/// `hidden` the width of the first fully connected layer; the output is a
+/// single cost prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TcnnConfig {
+    pub input_dim: usize,
+    pub channels: [usize; 3],
+    pub hidden: usize,
+    /// Dropout probability applied after each tree-conv block's ReLU
+    /// during training. 0.0 (the default and the paper's choice) disables
+    /// it; a positive value enables MC-dropout posterior sampling via
+    /// [`TreeCnn::predict_sample`] — the alternative Thompson-sampling
+    /// mechanism the paper cites (Gal & Ghahramani [24], Riquelme et al.
+    /// [68]) but passes over in favour of bootstrapping.
+    pub dropout: f32,
+}
+
+impl TcnnConfig {
+    /// The paper's published widths (Figure 5): 256/128/64 convolutions,
+    /// 32-wide hidden layer.
+    pub fn paper(input_dim: usize) -> Self {
+        TcnnConfig { input_dim, channels: [256, 128, 64], hidden: 32, dropout: 0.0 }
+    }
+
+    /// Reduced widths used by default in the experiment harness so full
+    /// workload sweeps train in seconds on CPU. The architecture (and its
+    /// inductive bias) is identical; only capacity shrinks.
+    pub fn small(input_dim: usize) -> Self {
+        TcnnConfig { input_dim, channels: [64, 32, 16], hidden: 16, dropout: 0.0 }
+    }
+
+    /// An even smaller shape for unit tests and gradient checks.
+    pub fn tiny(input_dim: usize) -> Self {
+        TcnnConfig { input_dim, channels: [8, 6, 4], hidden: 4, dropout: 0.0 }
+    }
+
+    pub fn with_dropout(mut self, p: f32) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout must be in [0, 1)");
+        self.dropout = p;
+        self
+    }
+}
+
+/// One layer-norm parameter pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct LnParams {
+    gamma: Param,
+    beta: Param,
+}
+
+/// The TCNN: 3 × (tree conv → layer norm → ReLU) → dynamic max pool →
+/// FC → ReLU → FC → scalar.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TreeCnn {
+    pub cfg: TcnnConfig,
+    conv: Vec<TreeConvParams>,
+    ln: Vec<LnParams>,
+    fc1_w: Param,
+    fc1_b: Param,
+    fc2_w: Param,
+    fc2_b: Param,
+}
+
+/// Cached activations from one forward pass, consumed by `backward`.
+pub struct Tape {
+    /// Block inputs: `xs[0]` is the raw features, `xs[k+1]` the ReLU
+    /// output of block `k`.
+    xs: Vec<Vec<f32>>,
+    ln_xhat: Vec<Vec<f32>>,
+    ln_inv_std: Vec<Vec<f32>>,
+    /// Inverted-dropout masks per block (entries are 0 or 1/(1-p));
+    /// `None` when dropout was not applied on that pass.
+    drop_masks: Vec<Option<Vec<f32>>>,
+    pool_arg: Vec<usize>,
+    pooled: Vec<f32>,
+    fc1_y: Vec<f32>,
+    n_nodes: usize,
+}
+
+impl TreeCnn {
+    pub fn new(cfg: TcnnConfig, seed: u64) -> TreeCnn {
+        let dims = [cfg.input_dim, cfg.channels[0], cfg.channels[1], cfg.channels[2]];
+        let conv = (0..3)
+            .map(|k| TreeConvParams::new(dims[k], dims[k + 1], split_seed(seed, k as u64)))
+            .collect();
+        let ln = (0..3)
+            .map(|k| LnParams {
+                gamma: Param::ones(dims[k + 1], 1),
+                beta: Param::zeros(dims[k + 1], 1),
+            })
+            .collect();
+        TreeCnn {
+            cfg,
+            conv,
+            ln,
+            fc1_w: Param::he(cfg.hidden, cfg.channels[2], split_seed(seed, 10)),
+            fc1_b: Param::zeros(cfg.hidden, 1),
+            fc2_w: Param::he(1, cfg.hidden, split_seed(seed, 11)),
+            fc2_b: Param::zeros(1, 1),
+        }
+    }
+
+    /// Prediction without gradient bookkeeping (deterministic: dropout is
+    /// disabled at inference, as in standard inverted dropout).
+    pub fn predict(&self, tree: &FeatTree) -> f32 {
+        self.forward_inner(tree, None).0
+    }
+
+    /// One stochastic posterior draw via MC-dropout: dropout masks stay
+    /// active at inference (Gal & Ghahramani). Only meaningful when the
+    /// network was configured (and trained) with `dropout > 0`.
+    pub fn predict_sample(&self, tree: &FeatTree, rng: &mut impl rand::Rng) -> f32 {
+        self.forward_inner(tree, Some(rng as &mut dyn rand::RngCore)).0
+    }
+
+    /// Training forward pass (dropout active when configured).
+    pub fn forward_train(&self, tree: &FeatTree, rng: &mut impl rand::Rng) -> (f32, Tape) {
+        self.forward_inner(tree, Some(rng as &mut dyn rand::RngCore))
+    }
+
+    /// Forward pass returning the prediction and the tape for `backward`.
+    /// Deterministic (no dropout) — training with dropout goes through
+    /// [`TreeCnn::forward_train`].
+    pub fn forward(&self, tree: &FeatTree) -> (f32, Tape) {
+        self.forward_inner(tree, None)
+    }
+
+    fn forward_inner(
+        &self,
+        tree: &FeatTree,
+        mut rng: Option<&mut dyn rand::RngCore>,
+    ) -> (f32, Tape) {
+        debug_assert_eq!(tree.feat_dim, self.cfg.input_dim, "feature dim mismatch");
+        let p = self.cfg.dropout;
+        let mut xs = vec![tree.feats.clone()];
+        let mut ln_xhat = Vec::with_capacity(3);
+        let mut ln_inv_std = Vec::with_capacity(3);
+        let mut drop_masks = Vec::with_capacity(3);
+        for k in 0..3 {
+            let conv_out = tree_conv_forward(&self.conv[k], &tree.left, &tree.right, &xs[k]);
+            let (ln_out, xhat, inv_std) = layer_norm_forward(
+                &self.ln[k].gamma,
+                &self.ln[k].beta,
+                &conv_out,
+                self.conv[k].out_c(),
+            );
+            ln_xhat.push(xhat);
+            ln_inv_std.push(inv_std);
+            let mut act = relu_forward(&ln_out);
+            let mask = match (&mut rng, p > 0.0) {
+                (Some(rng), true) => {
+                    use rand::Rng;
+                    let keep = 1.0 / (1.0 - p);
+                    let mask: Vec<f32> = act
+                        .iter()
+                        .map(|_| if rng.gen::<f32>() < p { 0.0 } else { keep })
+                        .collect();
+                    for (a, m) in act.iter_mut().zip(mask.iter()) {
+                        *a *= m;
+                    }
+                    Some(mask)
+                }
+                _ => None,
+            };
+            drop_masks.push(mask);
+            xs.push(act);
+        }
+        let c3 = self.cfg.channels[2];
+        let (pooled, pool_arg) = dyn_pool_forward(&xs[3], c3);
+        let fc1_y = relu_forward(&linear_forward(&self.fc1_w, &self.fc1_b, &pooled));
+        let out = linear_forward(&self.fc2_w, &self.fc2_b, &fc1_y);
+        let tape = Tape {
+            xs,
+            ln_xhat,
+            ln_inv_std,
+            drop_masks,
+            pool_arg,
+            pooled,
+            fc1_y,
+            n_nodes: tree.n_nodes(),
+        };
+        (out[0], tape)
+    }
+
+    /// Backpropagate `d_out` (∂loss/∂prediction), accumulating gradients
+    /// into every parameter.
+    pub fn backward(&mut self, tree: &FeatTree, tape: &Tape, d_out: f32) {
+        let d_fc1y = linear_backward(&mut self.fc2_w, &mut self.fc2_b, &tape.fc1_y, &[d_out]);
+        let d_fc1y = relu_backward(&tape.fc1_y, &d_fc1y);
+        let d_pooled = linear_backward(&mut self.fc1_w, &mut self.fc1_b, &tape.pooled, &d_fc1y);
+        let c3 = self.cfg.channels[2];
+        let mut d = dyn_pool_backward(&tape.pool_arg, &d_pooled, tape.n_nodes, c3);
+        for k in (0..3).rev() {
+            // Undo dropout first: surviving units carry the 1/(1-p) scale,
+            // dropped units pass no gradient.
+            if let Some(mask) = &tape.drop_masks[k] {
+                for (dv, m) in d.iter_mut().zip(mask.iter()) {
+                    *dv *= m;
+                }
+            }
+            let d_relu = relu_backward(&tape.xs[k + 1], &d);
+            let ln = &mut self.ln[k];
+            let d_ln = layer_norm_backward(
+                &mut ln.gamma,
+                &mut ln.beta,
+                &tape.ln_xhat[k],
+                &tape.ln_inv_std[k],
+                &d_relu,
+                self.conv[k].out_c(),
+            );
+            d = tree_conv_backward(&mut self.conv[k], &tree.left, &tree.right, &tape.xs[k], &d_ln);
+        }
+    }
+
+    /// Visit every parameter tensor (optimizer hook).
+    pub fn for_each_param(&mut self, mut f: impl FnMut(&mut Param)) {
+        for c in &mut self.conv {
+            f(&mut c.top);
+            f(&mut c.left);
+            f(&mut c.right);
+            f(&mut c.bias);
+        }
+        for l in &mut self.ln {
+            f(&mut l.gamma);
+            f(&mut l.beta);
+        }
+        f(&mut self.fc1_w);
+        f(&mut self.fc1_b);
+        f(&mut self.fc2_w);
+        f(&mut self.fc2_b);
+    }
+
+    pub fn zero_grad(&mut self) {
+        self.for_each_param(|p| p.zero_grad());
+    }
+
+    /// Total learnable scalar count.
+    pub fn n_params(&mut self) -> usize {
+        let mut n = 0;
+        self.for_each_param(|p| n += p.len());
+        n
+    }
+
+    /// Restore optimizer scratch after deserialization.
+    pub fn reset_scratch(&mut self) {
+        self.for_each_param(|p| p.reset_scratch());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bao_common::rng_from_seed;
+    use rand::Rng;
+
+    fn random_tree(rng: &mut impl Rng, dim: usize) -> FeatTree {
+        // A fixed 5-node binary shape with random features.
+        let nodes: Vec<Vec<f32>> =
+            (0..5).map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+        FeatTree::new(dim, nodes, vec![1, 3, -1, -1, -1], vec![2, 4, -1, -1, -1])
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let mut rng = rng_from_seed(4);
+        let tree = random_tree(&mut rng, 3);
+        let net = TreeCnn::new(TcnnConfig::tiny(3), 7);
+        assert_eq!(net.predict(&tree), net.predict(&tree));
+        let other = TreeCnn::new(TcnnConfig::tiny(3), 8);
+        assert_ne!(net.predict(&tree), other.predict(&tree));
+    }
+
+    #[test]
+    fn param_count_matches_config() {
+        let mut net = TreeCnn::new(TcnnConfig { input_dim: 3, channels: [4, 4, 4], hidden: 2, dropout: 0.0 }, 1);
+        // conv1: 3*(4*3)+4; conv2,3: 3*(4*4)+4 each; ln: 3*(4+4);
+        // fc1: 2*4+2; fc2: 1*2+1
+        let expected = (3 * 12 + 4) + 2 * (3 * 16 + 4) + 24 + 10 + 3;
+        assert_eq!(net.n_params(), expected);
+    }
+
+    /// Finite-difference gradient check over the whole network: the single
+    /// most important test of the NN substrate.
+    #[test]
+    fn gradient_check() {
+        let mut rng = rng_from_seed(12);
+        let tree = random_tree(&mut rng, 3);
+        let target = 0.7f32;
+        let mut net = TreeCnn::new(TcnnConfig::tiny(3), 21);
+
+        // Analytic gradients of L = (pred - target)^2.
+        net.zero_grad();
+        let (pred, tape) = net.forward(&tree);
+        net.backward(&tree, &tape, 2.0 * (pred - target));
+        let mut analytic: Vec<f32> = Vec::new();
+        net.for_each_param(|p| analytic.extend_from_slice(&p.g));
+
+        // Numeric gradients by central differences on a sample of params.
+        let mut numeric = vec![0.0f32; analytic.len()];
+        let eps = 1e-2f32;
+        let mut idx = 0usize;
+        // Collect (flat index ranges) by perturbing each scalar. To keep
+        // the test fast, probe every 7th parameter.
+        let mut offsets: Vec<(usize, usize)> = Vec::new();
+        net.for_each_param(|p| {
+            offsets.push((idx, p.len()));
+            idx += p.len();
+        });
+        let total = idx;
+        for probe in (0..total).step_by(7) {
+            let eval = |delta: f32, net: &mut TreeCnn| {
+                let mut flat_pos = 0;
+                net.for_each_param(|p| {
+                    if probe >= flat_pos && probe < flat_pos + p.len() {
+                        p.w[probe - flat_pos] += delta;
+                    }
+                    flat_pos += p.len();
+                });
+                let (out, _) = net.forward(&tree);
+                let mut flat_pos = 0;
+                net.for_each_param(|p| {
+                    if probe >= flat_pos && probe < flat_pos + p.len() {
+                        p.w[probe - flat_pos] -= delta;
+                    }
+                    flat_pos += p.len();
+                });
+                (out - target) * (out - target)
+            };
+            let lp = eval(eps, &mut net);
+            let lm = eval(-eps, &mut net);
+            numeric[probe] = (lp - lm) / (2.0 * eps);
+        }
+
+        // ReLU kinks and pool-argmax switches make a few finite
+        // differences unreliable; require the vast majority to agree.
+        let mut checked = 0;
+        let mut outliers = 0;
+        for probe in (0..total).step_by(7) {
+            let (a, n) = (analytic[probe], numeric[probe]);
+            if a.abs() < 1e-4 && n.abs() < 1e-4 {
+                continue;
+            }
+            let rel = (a - n).abs() / a.abs().max(n.abs()).max(1e-4);
+            if rel >= 0.08 {
+                outliers += 1;
+            }
+            checked += 1;
+        }
+        assert!(checked > 10, "gradient check exercised too few parameters ({checked})");
+        assert!(
+            outliers * 10 <= checked,
+            "too many gradient mismatches: {outliers}/{checked}"
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let net = TreeCnn::new(TcnnConfig::tiny(3), 5);
+        let json = serde_json::to_string(&net).unwrap();
+        let mut restored: TreeCnn = serde_json::from_str(&json).unwrap();
+        restored.reset_scratch();
+        let mut rng = rng_from_seed(1);
+        let tree = random_tree(&mut rng, 3);
+        assert_eq!(net.predict(&tree), restored.predict(&tree));
+    }
+
+    #[test]
+    fn dropout_inference_is_deterministic_but_samples_vary() {
+        let mut rng = rng_from_seed(6);
+        let tree = random_tree(&mut rng, 3);
+        let net = TreeCnn::new(TcnnConfig::tiny(3).with_dropout(0.3), 9);
+        // standard predict never applies dropout
+        assert_eq!(net.predict(&tree), net.predict(&tree));
+        // MC samples differ across draws (posterior sampling)...
+        let mut r1 = rng_from_seed(1);
+        let mut r2 = rng_from_seed(2);
+        let s1 = net.predict_sample(&tree, &mut r1);
+        let s2 = net.predict_sample(&tree, &mut r2);
+        assert_ne!(s1, s2);
+        // ...but are reproducible per seed
+        let mut r1b = rng_from_seed(1);
+        assert_eq!(s1, net.predict_sample(&tree, &mut r1b));
+        // zero dropout: sampling equals deterministic prediction
+        let plain = TreeCnn::new(TcnnConfig::tiny(3), 9);
+        let mut r = rng_from_seed(3);
+        assert_eq!(plain.predict(&tree), plain.predict_sample(&tree, &mut r));
+    }
+
+    #[test]
+    fn dropout_gradient_check() {
+        // The gradient check of `gradient_check` but through an active
+        // dropout mask: fix the mask by reusing the same RNG seed for the
+        // analytic pass and both finite-difference evaluations.
+        let mut rng = rng_from_seed(13);
+        let tree = random_tree(&mut rng, 3);
+        let target = 0.3f32;
+        let mut net = TreeCnn::new(TcnnConfig::tiny(3).with_dropout(0.15), 34);
+        let (pred, tape) = net.forward_train(&tree, &mut rng_from_seed(78));
+        assert!(pred.abs() > 1e-5, "degenerate (dead) forward pass; pick another seed");
+        net.zero_grad();
+        net.backward(&tree, &tape, 2.0 * (pred - target));
+        let mut analytic: Vec<f32> = Vec::new();
+        net.for_each_param(|p| analytic.extend_from_slice(&p.g));
+
+        let mut flat = 0usize;
+        net.for_each_param(|p| flat += p.len());
+        let eps = 1e-2f32;
+        let mut checked = 0;
+        let mut outliers = 0;
+        for probe in (0..flat).step_by(11) {
+            let eval = |delta: f32, net: &mut TreeCnn| {
+                let mut pos = 0;
+                net.for_each_param(|p| {
+                    if probe >= pos && probe < pos + p.len() {
+                        p.w[probe - pos] += delta;
+                    }
+                    pos += p.len();
+                });
+                let (out, _) = net.forward_train(&tree, &mut rng_from_seed(78));
+                let mut pos = 0;
+                net.for_each_param(|p| {
+                    if probe >= pos && probe < pos + p.len() {
+                        p.w[probe - pos] -= delta;
+                    }
+                    pos += p.len();
+                });
+                (out - target) * (out - target)
+            };
+            let num = (eval(eps, &mut net) - eval(-eps, &mut net)) / (2.0 * eps);
+            let a = analytic[probe];
+            if a.abs() < 1e-4 && num.abs() < 1e-4 {
+                continue;
+            }
+            checked += 1;
+            let rel = (a - num).abs() / a.abs().max(num.abs()).max(1e-4);
+            if rel >= 0.08 {
+                outliers += 1;
+            }
+        }
+        assert!(checked > 5, "too few params checked ({checked})");
+        assert!(outliers * 10 <= checked, "gradient mismatches: {outliers}/{checked}");
+    }
+
+    #[test]
+    fn handles_single_node_tree() {
+        let net = TreeCnn::new(TcnnConfig::tiny(2), 3);
+        let tree = FeatTree::leaf(vec![0.5, -0.5]);
+        let v = net.predict(&tree);
+        assert!(v.is_finite());
+    }
+}

@@ -1,0 +1,166 @@
+//! Parameter tensors with gradient and Adam-moment storage.
+
+use bao_common::rng_from_seed;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A learnable tensor: weights, accumulated gradient, and Adam moments.
+/// Stored row-major as `rows × cols` (a vector parameter has `cols == 1`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Param {
+    pub rows: usize,
+    pub cols: usize,
+    pub w: Vec<f32>,
+    #[serde(skip)]
+    pub g: Vec<f32>,
+    #[serde(skip)]
+    pub m: Vec<f32>,
+    #[serde(skip)]
+    pub v: Vec<f32>,
+}
+
+impl Param {
+    /// He-uniform initialization (suited to ReLU networks).
+    pub fn he(rows: usize, cols: usize, seed: u64) -> Param {
+        let mut rng = rng_from_seed(seed);
+        let bound = (6.0 / cols.max(1) as f64).sqrt() as f32;
+        let w = (0..rows * cols).map(|_| rng.gen_range(-bound..=bound)).collect();
+        Param::from_weights(rows, cols, w)
+    }
+
+    /// Zero initialization (biases, layer-norm shifts).
+    pub fn zeros(rows: usize, cols: usize) -> Param {
+        Param::from_weights(rows, cols, vec![0.0; rows * cols])
+    }
+
+    /// One initialization (layer-norm gains).
+    pub fn ones(rows: usize, cols: usize) -> Param {
+        Param::from_weights(rows, cols, vec![1.0; rows * cols])
+    }
+
+    pub fn from_weights(rows: usize, cols: usize, w: Vec<f32>) -> Param {
+        assert_eq!(w.len(), rows * cols);
+        let n = w.len();
+        Param { rows, cols, w, g: vec![0.0; n], m: vec![0.0; n], v: vec![0.0; n] }
+    }
+
+    pub fn len(&self) -> usize {
+        self.w.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.w.is_empty()
+    }
+
+    /// Reset optimizer scratch (after deserialization the skipped fields
+    /// are empty).
+    pub fn reset_scratch(&mut self) {
+        let n = self.w.len();
+        self.g = vec![0.0; n];
+        self.m = vec![0.0; n];
+        self.v = vec![0.0; n];
+    }
+
+    pub fn zero_grad(&mut self) {
+        self.g.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// `y += W x` where `x` has `cols` entries and `y` has `rows`.
+    pub fn matvec_add(&self, x: &[f32], y: &mut [f32]) {
+        debug_assert_eq!(x.len(), self.cols);
+        debug_assert_eq!(y.len(), self.rows);
+        for (r, yr) in y.iter_mut().enumerate() {
+            let row = &self.w[r * self.cols..(r + 1) * self.cols];
+            let mut acc = 0.0f32;
+            for (a, b) in row.iter().zip(x.iter()) {
+                acc += a * b;
+            }
+            *yr += acc;
+        }
+    }
+
+    /// `dx += Wᵀ dy` — the input gradient of `matvec_add`.
+    pub fn matvec_t_add(&self, dy: &[f32], dx: &mut [f32]) {
+        debug_assert_eq!(dy.len(), self.rows);
+        debug_assert_eq!(dx.len(), self.cols);
+        for (r, &d) in dy.iter().enumerate() {
+            if d == 0.0 {
+                continue;
+            }
+            let row = &self.w[r * self.cols..(r + 1) * self.cols];
+            for (xg, &wv) in dx.iter_mut().zip(row.iter()) {
+                *xg += d * wv;
+            }
+        }
+    }
+
+    /// `dW += dy ⊗ x` — the weight gradient of `matvec_add`.
+    pub fn grad_outer_add(&mut self, dy: &[f32], x: &[f32]) {
+        debug_assert_eq!(dy.len(), self.rows);
+        debug_assert_eq!(x.len(), self.cols);
+        for (r, &d) in dy.iter().enumerate() {
+            if d == 0.0 {
+                continue;
+            }
+            let row = &mut self.g[r * self.cols..(r + 1) * self.cols];
+            for (gv, &xv) in row.iter_mut().zip(x.iter()) {
+                *gv += d * xv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_shapes() {
+        let p = Param::he(3, 4, 1);
+        assert_eq!(p.len(), 12);
+        assert_eq!(p.g.len(), 12);
+        assert!(p.w.iter().any(|&x| x != 0.0));
+        let z = Param::zeros(2, 1);
+        assert!(z.w.iter().all(|&x| x == 0.0));
+        let o = Param::ones(2, 1);
+        assert!(o.w.iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn he_is_deterministic() {
+        assert_eq!(Param::he(4, 4, 9).w, Param::he(4, 4, 9).w);
+        assert_ne!(Param::he(4, 4, 9).w, Param::he(4, 4, 10).w);
+    }
+
+    #[test]
+    fn matvec_roundtrip() {
+        // W = [[1,2],[3,4]]
+        let p = Param::from_weights(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let mut y = vec![0.0; 2];
+        p.matvec_add(&[1.0, 1.0], &mut y);
+        assert_eq!(y, vec![3.0, 7.0]);
+        let mut dx = vec![0.0; 2];
+        p.matvec_t_add(&[1.0, 1.0], &mut dx);
+        assert_eq!(dx, vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn outer_grad() {
+        let mut p = Param::zeros(2, 2);
+        p.grad_outer_add(&[1.0, 2.0], &[3.0, 4.0]);
+        assert_eq!(p.g, vec![3.0, 4.0, 6.0, 8.0]);
+        p.zero_grad();
+        assert!(p.g.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn serde_skips_scratch() {
+        let p = Param::he(2, 2, 3);
+        let json = serde_json::to_string(&p).unwrap();
+        let mut q: Param = serde_json::from_str(&json).unwrap();
+        assert_eq!(p.w, q.w);
+        assert!(q.g.is_empty());
+        q.reset_scratch();
+        assert_eq!(q.g.len(), 4);
+    }
+}

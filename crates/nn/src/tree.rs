@@ -1,0 +1,112 @@
+//! Binarized feature trees: the TCNN's input format.
+
+use serde::{Deserialize, Serialize};
+
+/// A binary tree of feature vectors, flattened to parallel arrays.
+///
+/// Nodes are stored in pre-order; `left[i]`/`right[i]` hold child indices
+/// or `-1`. Bao's featurizer guarantees every node has either zero or two
+/// children (nulls are explicit nodes after binarization, paper Figure 3),
+/// but the network also tolerates one-sided nodes (missing child
+/// contributes a zero vector).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatTree {
+    pub feat_dim: usize,
+    /// `n_nodes * feat_dim` features, node-major.
+    pub feats: Vec<f32>,
+    pub left: Vec<i32>,
+    pub right: Vec<i32>,
+}
+
+impl FeatTree {
+    /// A single-node tree.
+    pub fn leaf(feat: Vec<f32>) -> FeatTree {
+        FeatTree { feat_dim: feat.len(), feats: feat, left: vec![-1], right: vec![-1] }
+    }
+
+    /// Build from per-node vectors and child links.
+    pub fn new(feat_dim: usize, nodes: Vec<Vec<f32>>, left: Vec<i32>, right: Vec<i32>) -> FeatTree {
+        assert_eq!(nodes.len(), left.len());
+        assert_eq!(nodes.len(), right.len());
+        let mut feats = Vec::with_capacity(nodes.len() * feat_dim);
+        for n in &nodes {
+            assert_eq!(n.len(), feat_dim, "inconsistent feature dimension");
+            feats.extend_from_slice(n);
+        }
+        FeatTree { feat_dim, feats, left, right }
+    }
+
+    pub fn n_nodes(&self) -> usize {
+        self.left.len()
+    }
+
+    pub fn feat(&self, node: usize) -> &[f32] {
+        &self.feats[node * self.feat_dim..(node + 1) * self.feat_dim]
+    }
+
+    /// Validate structural invariants (child indices in range, acyclic by
+    /// the pre-order convention children follow parents).
+    pub fn is_well_formed(&self) -> bool {
+        let n = self.n_nodes() as i32;
+        if self.feats.len() != self.n_nodes() * self.feat_dim {
+            return false;
+        }
+        for i in 0..self.n_nodes() {
+            for &c in [self.left[i], self.right[i]].iter() {
+                if c != -1 && (c <= i as i32 || c >= n) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_node() -> FeatTree {
+        FeatTree::new(
+            2,
+            vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]],
+            vec![1, -1, -1],
+            vec![2, -1, -1],
+        )
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let t = three_node();
+        assert_eq!(t.n_nodes(), 3);
+        assert_eq!(t.feat(1), &[3.0, 4.0]);
+        assert!(t.is_well_formed());
+    }
+
+    #[test]
+    fn leaf_tree() {
+        let t = FeatTree::leaf(vec![1.0, 0.0, 0.5]);
+        assert_eq!(t.n_nodes(), 1);
+        assert_eq!(t.feat_dim, 3);
+        assert!(t.is_well_formed());
+    }
+
+    #[test]
+    fn malformed_trees_detected() {
+        let mut t = three_node();
+        t.left[2] = 0; // back-edge
+        assert!(!t.is_well_formed());
+        let mut t = three_node();
+        t.right[0] = 7; // out of range
+        assert!(!t.is_well_formed());
+        let mut t = three_node();
+        t.feats.pop();
+        assert!(!t.is_well_formed());
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent feature dimension")]
+    fn dimension_mismatch_panics() {
+        FeatTree::new(2, vec![vec![1.0]], vec![-1], vec![-1]);
+    }
+}

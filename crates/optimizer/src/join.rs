@@ -1,0 +1,376 @@
+//! Join-order enumeration: dynamic programming (DPsize) for narrow
+//! queries, greedy operator ordering (GOO) for wide ones.
+
+use crate::access::{cheapest, scan_candidates, BaseRel, Candidate, PlannerCtx};
+use bao_common::{BaoError, Result};
+use bao_plan::{ColRef, JoinAlgo, JoinPred, Operator, PlanNode, ScanKind};
+use std::collections::HashMap;
+
+/// Queries up to this many relations are planned with exact DP; wider
+/// queries fall back to greedy enumeration (PostgreSQL similarly switches
+/// to GEQO beyond `geqo_threshold`).
+pub const DP_THRESHOLD: usize = 8;
+
+/// Plan the join tree for the query's FROM list, returning the best
+/// candidate covering every relation.
+pub fn plan_joins(ctx: &PlannerCtx<'_>, rels: &[BaseRel]) -> Result<Candidate> {
+    let n = rels.len();
+    if n == 0 {
+        return Err(BaoError::InvalidQuery("empty FROM list".into()));
+    }
+    validate_join_graph(ctx, n)?;
+    if n == 1 {
+        return Ok(cheapest(scan_candidates(ctx, &rels[0])?));
+    }
+    let mut rows_memo: HashMap<u32, f64> = HashMap::new();
+    if n <= DP_THRESHOLD {
+        plan_dp(ctx, rels, &mut rows_memo)
+    } else {
+        plan_greedy(ctx, rels, &mut rows_memo)
+    }
+}
+
+/// The join graph must be connected (no Cartesian products). Cycles and
+/// parallel edges are allowed: when two sub-plans are connected by more
+/// than one predicate, the physical join uses one and the rest become a
+/// `Filter` above it, so plans stay semantically identical regardless of
+/// join order.
+fn validate_join_graph(ctx: &PlannerCtx<'_>, n: usize) -> Result<()> {
+    for j in &ctx.query.joins {
+        let (a, b) = (j.left.table, j.right.table);
+        if a == b || a >= n || b >= n {
+            return Err(BaoError::InvalidQuery(format!("bad join predicate {a}-{b}")));
+        }
+    }
+    let g = bao_plan::JoinGraph::from_query(ctx.query);
+    if !g.is_connected() {
+        return Err(BaoError::Planning("disconnected join graph (cartesian product)".into()));
+    }
+    Ok(())
+}
+
+/// Estimated output rows of the join of the relation subset `mask`:
+/// product of filtered base cardinalities times the selectivity of every
+/// join predicate internal to the subset. Order-independent, so all plans
+/// for the same subset agree (as in a Selinger optimizer).
+fn rows_for(
+    ctx: &PlannerCtx<'_>,
+    rels: &[BaseRel],
+    mask: u32,
+    memo: &mut HashMap<u32, f64>,
+) -> f64 {
+    if let Some(&r) = memo.get(&mask) {
+        return r;
+    }
+    let mut rows = 1.0;
+    for rel in rels {
+        if mask & (1 << rel.idx) != 0 {
+            rows *= rel.out_rows;
+        }
+    }
+    for j in &ctx.query.joins {
+        let (a, b) = (j.left.table, j.right.table);
+        if mask & (1 << a) != 0 && mask & (1 << b) != 0 {
+            rows *= ctx.est.join_selectivity(
+                ctx.cat,
+                &ctx.query.tables[a].table,
+                &j.left.column,
+                &ctx.query.tables[b].table,
+                &j.right.column,
+            );
+        }
+    }
+    let rows = rows.max(1.0);
+    memo.insert(mask, rows);
+    rows
+}
+
+/// Every join predicate connecting two disjoint subsets, oriented so
+/// `left` refers to a table in `l_mask`. Empty when unconnected; entries
+/// beyond the first become a post-join `Filter`.
+fn connecting_preds(ctx: &PlannerCtx<'_>, l_mask: u32, r_mask: u32) -> Vec<JoinPred> {
+    let mut out = Vec::new();
+    for j in &ctx.query.joins {
+        let (a, b) = (j.left.table, j.right.table);
+        if l_mask & (1 << a) != 0 && r_mask & (1 << b) != 0 {
+            out.push(j.clone());
+        } else if l_mask & (1 << b) != 0 && r_mask & (1 << a) != 0 {
+            out.push(JoinPred::new(j.right.clone(), j.left.clone()));
+        }
+    }
+    out
+}
+
+/// Build every legal physical join of `left ⋈ right` under the hint set
+/// and return them. `pred` is oriented left-to-right.
+fn join_candidates(
+    ctx: &PlannerCtx<'_>,
+    rels: &[BaseRel],
+    left: &Candidate,
+    right: &Candidate,
+    right_mask: u32,
+    preds: &[JoinPred],
+    out_rows: f64,
+) -> Vec<Candidate> {
+    let p = ctx.params;
+    let pred = &preds[0];
+    // Extra connecting predicates (cyclic graphs) filter the join output.
+    let extra: Vec<JoinPred> = preds[1..].to_vec();
+    let wrap = |cand: Candidate| -> Candidate {
+        if extra.is_empty() {
+            return cand;
+        }
+        let filter_cpu =
+            cand.rows * extra.len() as f64 * ctx.params.cpu_operator_cost;
+        Candidate::new(
+            Operator::Filter { preds: extra.clone() },
+            vec![cand.node],
+            out_rows,
+            cand.cost + filter_cpu,
+            cand.rescan_cost + filter_cpu,
+        )
+    };
+    let mut out = Vec::new();
+    let pen = |algo: JoinAlgo| if ctx.hints.join_enabled(algo) { 0.0 } else { p.disable_cost };
+
+    // Hash join: probe with left, build on right.
+    {
+        let cost = left.cost
+            + right.cost
+            + p.hash_join(left.rows, right.rows, out_rows)
+            + pen(JoinAlgo::Hash);
+        let rescan = left.rescan_cost
+            + right.rescan_cost
+            + p.hash_join(left.rows, right.rows, out_rows);
+        out.push(wrap(Candidate::new(
+            Operator::HashJoin { pred: pred.clone() },
+            vec![left.node.clone(), right.node.clone()],
+            out_rows,
+            cost,
+            rescan,
+        )));
+    }
+
+    // Merge join: explicit sorts on both inputs.
+    {
+        let sort_l = PlanNode::new(
+            Operator::Sort { keys: vec![pred.left.clone()] },
+            vec![left.node.clone()],
+        )
+        .with_estimates(left.rows, left.cost + p.sort(left.rows));
+        let sort_r = PlanNode::new(
+            Operator::Sort { keys: vec![pred.right.clone()] },
+            vec![right.node.clone()],
+        )
+        .with_estimates(right.rows, right.cost + p.sort(right.rows));
+        let cost = sort_l.est_cost
+            + sort_r.est_cost
+            + p.merge_join(left.rows, right.rows, out_rows)
+            + pen(JoinAlgo::Merge);
+        let rescan = left.rescan_cost
+            + right.rescan_cost
+            + p.sort(left.rows)
+            + p.sort(right.rows)
+            + p.merge_join(left.rows, right.rows, out_rows);
+        out.push(wrap(Candidate::new(
+            Operator::MergeJoin { pred: pred.clone() },
+            vec![sort_l, sort_r],
+            out_rows,
+            cost,
+            rescan,
+        )));
+    }
+
+    // Nested loop, naive inner rescans.
+    {
+        let cost = left.cost
+            + p.nested_loop(left.rows, right.cost, right.rescan_cost, out_rows)
+            + pen(JoinAlgo::NestedLoop);
+        let rescan = left.rescan_cost
+            + p.nested_loop(left.rows, right.rescan_cost, right.rescan_cost, out_rows);
+        out.push(wrap(Candidate::new(
+            Operator::NestedLoopJoin { pred: pred.clone() },
+            vec![left.node.clone(), right.node.clone()],
+            out_rows,
+            cost,
+            rescan,
+        )));
+    }
+
+    // Nested loop with a parameterized index lookup inner: only when the
+    // inner side is a single base relation with an index on the join key.
+    if right_mask.count_ones() == 1 {
+        let rel = rels
+            .iter()
+            .find(|r| right_mask & (1 << r.idx) != 0)
+            .expect("mask refers to a relation");
+        if let Ok(stored) = ctx.db.by_name(&rel.name) {
+            if let Some(sidx) = stored.index_on(&pred.right.column) {
+                let preds_logical: Vec<bao_plan::Predicate> =
+                    ctx.query.predicates_on(rel.idx).into_iter().cloned().collect();
+                let needed = ctx.query.columns_needed(rel.idx);
+                let covering =
+                    preds_logical.is_empty() && needed.iter().all(|c| c == &pred.right.column);
+                let height = sidx.index.height() as f64;
+                // Expected raw index matches per outer key, before residual
+                // filtering.
+                let jsel = ctx.est.join_selectivity(
+                    ctx.cat,
+                    &ctx.query.tables[pred.left.table].table,
+                    &pred.left.column,
+                    &rel.name,
+                    &pred.right.column,
+                );
+                let per_key = (rel.rows * jsel).max(0.0);
+                let (inner_op, scan_pen, lookup) = if covering {
+                    (
+                        Operator::IndexOnlyScan {
+                            table: rel.idx,
+                            column: pred.right.column.clone(),
+                            lo: None,
+                            hi: None,
+                            param: Some(pred.left.clone()),
+                        },
+                        ctx.scan_penalty(ScanKind::IndexOnly),
+                        p.param_index_lookup(height, per_key, false),
+                    )
+                } else {
+                    (
+                        Operator::IndexScan {
+                            table: rel.idx,
+                            column: pred.right.column.clone(),
+                            lo: None,
+                            hi: None,
+                            residual: preds_logical.clone(),
+                            param: Some(pred.left.clone()),
+                        },
+                        ctx.scan_penalty(ScanKind::Index),
+                        p.param_index_lookup(height, per_key, true)
+                            + per_key
+                                * preds_logical.len() as f64
+                                * p.cpu_operator_cost,
+                    )
+                };
+                let inner = PlanNode::new(inner_op, vec![])
+                    .with_estimates(per_key.max(1.0), lookup);
+                let cost = left.cost
+                    + left.rows * lookup
+                    + out_rows * p.cpu_tuple_cost
+                    + pen(JoinAlgo::NestedLoop)
+                    + scan_pen;
+                let rescan =
+                    left.rescan_cost + left.rows * lookup + out_rows * p.cpu_tuple_cost;
+                out.push(wrap(Candidate::new(
+                    Operator::NestedLoopJoin { pred: pred.clone() },
+                    vec![left.node.clone(), inner],
+                    out_rows,
+                    cost,
+                    rescan,
+                )));
+            }
+        }
+    }
+
+    ctx.bump_work(out.len() as u64);
+    out
+}
+
+fn plan_dp(
+    ctx: &PlannerCtx<'_>,
+    rels: &[BaseRel],
+    rows_memo: &mut HashMap<u32, f64>,
+) -> Result<Candidate> {
+    let n = rels.len();
+    let full: u32 = (1u32 << n) - 1;
+    let mut best: HashMap<u32, Candidate> = HashMap::new();
+    for rel in rels {
+        best.insert(1 << rel.idx, cheapest(scan_candidates(ctx, rel)?));
+    }
+    for mask in 2..=full {
+        if mask.count_ones() < 2 {
+            continue;
+        }
+        let mut winner: Option<Candidate> = None;
+        // Enumerate proper non-empty submask splits; both orientations
+        // appear naturally as (s, mask^s) and (mask^s, s).
+        let mut s = (mask - 1) & mask;
+        while s > 0 {
+            let t = mask ^ s;
+            if let (Some(lc), Some(rc)) = (best.get(&s), best.get(&t)) {
+                let preds = connecting_preds(ctx, s, t);
+                if !preds.is_empty() {
+                    let out_rows = rows_for(ctx, rels, mask, rows_memo);
+                    for cand in join_candidates(ctx, rels, lc, rc, t, &preds, out_rows) {
+                        if winner.as_ref().is_none_or(|w| cand.cost < w.cost) {
+                            winner = Some(cand);
+                        }
+                    }
+                }
+            }
+            s = (s - 1) & mask;
+        }
+        if let Some(w) = winner {
+            best.insert(mask, w);
+        }
+    }
+    best.remove(&full)
+        .ok_or_else(|| BaoError::Planning("DP found no plan covering all relations".into()))
+}
+
+fn plan_greedy(
+    ctx: &PlannerCtx<'_>,
+    rels: &[BaseRel],
+    rows_memo: &mut HashMap<u32, f64>,
+) -> Result<Candidate> {
+    let mut entries: Vec<(u32, Candidate)> = Vec::with_capacity(rels.len());
+    for rel in rels {
+        entries.push((1 << rel.idx, cheapest(scan_candidates(ctx, rel)?)));
+    }
+    while entries.len() > 1 {
+        // Pick the connected pair whose join output is smallest (GOO).
+        let mut pick: Option<(usize, usize, f64)> = None;
+        for i in 0..entries.len() {
+            for j in 0..entries.len() {
+                if i == j {
+                    continue;
+                }
+                if !connecting_preds(ctx, entries[i].0, entries[j].0).is_empty() {
+                    let rows = rows_for(ctx, rels, entries[i].0 | entries[j].0, rows_memo);
+                    if pick.is_none_or(|(_, _, r)| rows < r) {
+                        pick = Some((i, j, rows));
+                    }
+                }
+            }
+        }
+        let Some((i, j, _)) = pick else {
+            return Err(BaoError::Planning("greedy: no connected pair".into()));
+        };
+        let mask = entries[i].0 | entries[j].0;
+        let preds = connecting_preds(ctx, entries[i].0, entries[j].0);
+        let out_rows = rows_for(ctx, rels, mask, rows_memo);
+        // Try both orientations and every algorithm.
+        let mut cands = join_candidates(
+            ctx, rels, &entries[i].1, &entries[j].1, entries[j].0, &preds, out_rows,
+        );
+        let flipped: Vec<JoinPred> = preds
+            .iter()
+            .map(|p| JoinPred::new(p.right.clone(), p.left.clone()))
+            .collect();
+        cands.extend(join_candidates(
+            ctx, rels, &entries[j].1, &entries[i].1, entries[i].0, &flipped, out_rows,
+        ));
+        let winner = cheapest(cands);
+        let (hi, lo) = if i > j { (i, j) } else { (j, i) };
+        entries.remove(hi);
+        entries.remove(lo);
+        entries.push((mask, winner));
+    }
+    Ok(entries.pop().expect("one entry remains").1)
+}
+
+/// Helper used by the optimizer's top-level: the column a plan is known to
+/// be sorted on (unused for now; merge joins always sort explicitly).
+#[allow(dead_code)]
+fn sorted_output(_node: &PlanNode) -> Option<ColRef> {
+    None
+}

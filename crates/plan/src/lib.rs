@@ -1,0 +1,14 @@
+//! Query representations: the logical SELECT–PROJECT–JOIN–AGGREGATE AST the
+//! SQL frontend and workload generators produce, the join graph the
+//! optimizer enumerates over, and the physical plan trees Bao featurizes,
+//! predicts over, and executes.
+
+pub mod joingraph;
+pub mod logical;
+pub mod physical;
+
+pub use joingraph::JoinGraph;
+pub use logical::{
+    AggFunc, CmpOp, ColRef, JoinPred, Predicate, Query, SelectItem, TableRef,
+};
+pub use physical::{JoinAlgo, OpKind, Operator, PlanNode, ScanKind, N_OP_KINDS};

@@ -1,0 +1,166 @@
+//! Equi-depth histograms over numeric column values.
+
+use bao_plan::CmpOp;
+
+/// An equi-depth histogram: `bounds` has `buckets + 1` entries and every
+/// bucket holds the same number of underlying values. Mirrors PostgreSQL's
+/// `histogram_bounds` statistic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EquiDepthHistogram {
+    bounds: Vec<f64>,
+    /// Number of values the histogram was built over.
+    n: usize,
+}
+
+impl EquiDepthHistogram {
+    /// Build from unsorted values with at most `max_buckets` buckets.
+    /// Returns an empty histogram for no input.
+    pub fn build(values: &[f64], max_buckets: usize) -> Self {
+        if values.is_empty() || max_buckets == 0 {
+            return EquiDepthHistogram { bounds: vec![], n: 0 };
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in column data"));
+        let buckets = max_buckets.min(sorted.len()).max(1);
+        let mut bounds = Vec::with_capacity(buckets + 1);
+        for i in 0..=buckets {
+            let rank = (i * (sorted.len() - 1)) / buckets;
+            bounds.push(sorted[rank]);
+        }
+        EquiDepthHistogram { bounds, n: values.len() }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    pub fn buckets(&self) -> usize {
+        self.bounds.len().saturating_sub(1)
+    }
+
+    pub fn min(&self) -> Option<f64> {
+        self.bounds.first().copied()
+    }
+
+    pub fn max(&self) -> Option<f64> {
+        self.bounds.last().copied()
+    }
+
+    /// Estimated fraction of values `< x` (strictly below), by linear
+    /// interpolation within the containing bucket.
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        let b = self.buckets();
+        if b == 0 {
+            return 0.0;
+        }
+        if x <= self.bounds[0] {
+            return 0.0;
+        }
+        if x > self.bounds[b] {
+            return 1.0;
+        }
+        // Find the bucket containing x.
+        let mut i = match self.bounds.binary_search_by(|v| v.partial_cmp(&x).unwrap()) {
+            Ok(idx) => idx,
+            Err(idx) => idx.saturating_sub(1),
+        };
+        i = i.min(b - 1);
+        let (lo, hi) = (self.bounds[i], self.bounds[i + 1]);
+        let within = if hi > lo { ((x - lo) / (hi - lo)).clamp(0.0, 1.0) } else { 0.0 };
+        (i as f64 + within) / b as f64
+    }
+
+    /// Selectivity of `col OP x` against this histogram, given the
+    /// column's distinct count (used for equality width).
+    pub fn selectivity(&self, op: CmpOp, x: f64, n_distinct: f64) -> f64 {
+        if self.is_empty() {
+            return match op {
+                CmpOp::Eq => 0.005,
+                CmpOp::Ne => 0.995,
+                _ => 1.0 / 3.0,
+            };
+        }
+        let eq = 1.0 / n_distinct.max(1.0);
+        let below = self.fraction_below(x);
+        match op {
+            CmpOp::Eq => eq,
+            CmpOp::Ne => (1.0 - eq).max(0.0),
+            CmpOp::Lt => below,
+            CmpOp::Le => (below + eq).min(1.0),
+            CmpOp::Gt => (1.0 - below - eq).max(0.0),
+            CmpOp::Ge => (1.0 - below).max(0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(n: usize) -> Vec<f64> {
+        (0..n).map(|i| i as f64).collect()
+    }
+
+    #[test]
+    fn empty_histogram_defaults() {
+        let h = EquiDepthHistogram::build(&[], 10);
+        assert!(h.is_empty());
+        assert_eq!(h.fraction_below(5.0), 0.0);
+        assert!((h.selectivity(CmpOp::Lt, 5.0, 10.0) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_fractions() {
+        let h = EquiDepthHistogram::build(&uniform(1000), 100);
+        assert!((h.fraction_below(500.0) - 0.5).abs() < 0.02);
+        assert!((h.fraction_below(250.0) - 0.25).abs() < 0.02);
+        assert_eq!(h.fraction_below(-1.0), 0.0);
+        assert_eq!(h.fraction_below(2000.0), 1.0);
+    }
+
+    #[test]
+    fn skewed_data_equidepth() {
+        // 90% zeros, 10% spread: the bucket boundaries crowd near zero.
+        let mut vals = vec![0.0; 900];
+        vals.extend((0..100).map(|i| (i * 10) as f64));
+        let h = EquiDepthHistogram::build(&vals, 10);
+        assert!(h.fraction_below(1.0) >= 0.8);
+    }
+
+    #[test]
+    fn range_selectivities_sum_to_one() {
+        let h = EquiDepthHistogram::build(&uniform(100), 10);
+        let nd = 100.0;
+        for x in [3.0, 50.0, 97.0] {
+            let lt = h.selectivity(CmpOp::Lt, x, nd);
+            let eq = h.selectivity(CmpOp::Eq, x, nd);
+            let gt = h.selectivity(CmpOp::Gt, x, nd);
+            assert!((lt + eq + gt - 1.0).abs() < 1e-9, "x={x}");
+            assert!(
+                (h.selectivity(CmpOp::Le, x, nd) - (lt + eq)).abs() < 1e-9
+            );
+            assert!(
+                (h.selectivity(CmpOp::Ge, x, nd) - (gt + eq)).abs() < 1e-9
+            );
+            assert!(
+                (h.selectivity(CmpOp::Ne, x, nd) - (1.0 - eq)).abs() < 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn single_value_column() {
+        let h = EquiDepthHistogram::build(&[7.0; 50], 10);
+        assert_eq!(h.fraction_below(7.0), 0.0);
+        assert_eq!(h.fraction_below(8.0), 1.0);
+        assert!((h.selectivity(CmpOp::Eq, 7.0, 1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max() {
+        let h = EquiDepthHistogram::build(&[3.0, 1.0, 2.0], 4);
+        assert_eq!(h.min(), Some(1.0));
+        assert_eq!(h.max(), Some(3.0));
+        assert!(h.buckets() >= 1);
+    }
+}

@@ -1,0 +1,270 @@
+//! LRU buffer pool simulator.
+//!
+//! Every page touch in the executor flows through this pool; misses are the
+//! "physical I/O" metric of Figure 16b, and per-object residency fractions
+//! are the optional cache features of Bao's plan vectorization (§3.1.1 of
+//! the paper: "we augment each scan node with the percentage of the
+//! targeted file that is cached").
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Identifies a page: the owning object (table heap or index) and the page
+/// number within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageKey {
+    pub object: u32,
+    pub page: u32,
+}
+
+impl PageKey {
+    pub fn new(object: u32, page: u32) -> Self {
+        PageKey { object, page }
+    }
+}
+
+/// How a page is being read. Large sequential scans bypass cache insertion
+/// (PostgreSQL's ring-buffer behaviour) so one big table scan does not
+/// evict the whole working set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Random or small-scan access: cached on read.
+    Cached,
+    /// Bulk sequential access: hit/miss is observed but the page is not
+    /// promoted into the pool.
+    BulkRead,
+}
+
+/// Cumulative hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl PoolStats {
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses() as f64
+        }
+    }
+}
+
+/// A strict-LRU page cache with per-object residency accounting.
+#[derive(Debug, Clone)]
+pub struct BufferPool {
+    capacity: usize,
+    /// page -> LRU stamp of its most recent access.
+    resident: HashMap<PageKey, u64>,
+    /// stamp -> page, for O(log n) eviction of the least recent stamp.
+    order: BTreeMap<u64, PageKey>,
+    /// object -> number of its pages currently resident.
+    per_object: HashMap<u32, u32>,
+    clock: u64,
+    stats: PoolStats,
+}
+
+impl BufferPool {
+    /// A pool holding at most `capacity` pages. Zero capacity means every
+    /// access misses (a permanently cold cache).
+    pub fn new(capacity: usize) -> Self {
+        BufferPool {
+            capacity,
+            resident: HashMap::new(),
+            order: BTreeMap::new(),
+            per_object: HashMap::new(),
+            clock: 0,
+            stats: PoolStats::default(),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.resident.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.resident.is_empty()
+    }
+
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    pub fn reset_stats(&mut self) {
+        self.stats = PoolStats::default();
+    }
+
+    /// Touch a page; returns `true` on a cache hit.
+    pub fn access(&mut self, key: PageKey, kind: AccessKind) -> bool {
+        self.clock += 1;
+        let hit = if let Some(stamp) = self.resident.get_mut(&key) {
+            // Refresh recency.
+            self.order.remove(&*stamp);
+            *stamp = self.clock;
+            self.order.insert(self.clock, key);
+            true
+        } else {
+            false
+        };
+        if hit {
+            self.stats.hits += 1;
+            return true;
+        }
+        self.stats.misses += 1;
+        if kind == AccessKind::Cached && self.capacity > 0 {
+            self.insert(key);
+        }
+        false
+    }
+
+    /// Is the page resident, without touching recency or stats? Used by the
+    /// optimizer's cache-aware cost adjustments.
+    pub fn contains(&self, key: PageKey) -> bool {
+        self.resident.contains_key(&key)
+    }
+
+    /// Fraction of an object's `n_pages` pages currently resident.
+    pub fn cached_fraction(&self, object: u32, n_pages: u32) -> f64 {
+        if n_pages == 0 {
+            return 0.0;
+        }
+        let resident = self.per_object.get(&object).copied().unwrap_or(0);
+        (resident as f64 / n_pages as f64).min(1.0)
+    }
+
+    /// Drop every page (a cold restart).
+    pub fn clear(&mut self) {
+        self.resident.clear();
+        self.order.clear();
+        self.per_object.clear();
+    }
+
+    /// Load `pages` pages of `object` as if they had just been read
+    /// (warming a cache before an experiment).
+    pub fn prewarm(&mut self, object: u32, pages: u32) {
+        for p in 0..pages {
+            self.clock += 1;
+            let key = PageKey::new(object, p);
+            if let Some(stamp) = self.resident.get_mut(&key) {
+                self.order.remove(&*stamp);
+                *stamp = self.clock;
+                self.order.insert(self.clock, key);
+            } else if self.capacity > 0 {
+                self.insert(key);
+            }
+        }
+    }
+
+    fn insert(&mut self, key: PageKey) {
+        while self.resident.len() >= self.capacity {
+            let (&oldest, &victim) = self.order.iter().next().expect("pool non-empty");
+            self.order.remove(&oldest);
+            self.resident.remove(&victim);
+            let cnt = self.per_object.get_mut(&victim.object).expect("object tracked");
+            *cnt -= 1;
+            if *cnt == 0 {
+                self.per_object.remove(&victim.object);
+            }
+        }
+        self.resident.insert(key, self.clock);
+        self.order.insert(self.clock, key);
+        *self.per_object.entry(key.object).or_insert(0) += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_after_caching() {
+        let mut p = BufferPool::new(4);
+        let k = PageKey::new(1, 0);
+        assert!(!p.access(k, AccessKind::Cached));
+        assert!(p.access(k, AccessKind::Cached));
+        assert_eq!(p.stats(), PoolStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut p = BufferPool::new(2);
+        let a = PageKey::new(1, 0);
+        let b = PageKey::new(1, 1);
+        let c = PageKey::new(1, 2);
+        p.access(a, AccessKind::Cached);
+        p.access(b, AccessKind::Cached);
+        p.access(a, AccessKind::Cached); // refresh a; b is now LRU
+        p.access(c, AccessKind::Cached); // evicts b
+        assert!(p.contains(a));
+        assert!(!p.contains(b));
+        assert!(p.contains(c));
+    }
+
+    #[test]
+    fn bulk_reads_do_not_pollute() {
+        let mut p = BufferPool::new(2);
+        let a = PageKey::new(1, 0);
+        p.access(a, AccessKind::Cached);
+        for pg in 0..10 {
+            p.access(PageKey::new(2, pg), AccessKind::BulkRead);
+        }
+        assert!(p.contains(a));
+        assert_eq!(p.len(), 1);
+        // but bulk reads still see hits on already-resident pages
+        assert!(p.access(a, AccessKind::BulkRead));
+    }
+
+    #[test]
+    fn cached_fraction_tracks_eviction() {
+        let mut p = BufferPool::new(2);
+        p.access(PageKey::new(7, 0), AccessKind::Cached);
+        p.access(PageKey::new(7, 1), AccessKind::Cached);
+        assert_eq!(p.cached_fraction(7, 4), 0.5);
+        p.access(PageKey::new(8, 0), AccessKind::Cached); // evicts one page of 7
+        assert_eq!(p.cached_fraction(7, 4), 0.25);
+        assert_eq!(p.cached_fraction(8, 1), 1.0);
+        assert_eq!(p.cached_fraction(9, 10), 0.0);
+        assert_eq!(p.cached_fraction(8, 0), 0.0);
+    }
+
+    #[test]
+    fn zero_capacity_always_misses() {
+        let mut p = BufferPool::new(0);
+        let k = PageKey::new(1, 0);
+        assert!(!p.access(k, AccessKind::Cached));
+        assert!(!p.access(k, AccessKind::Cached));
+        assert_eq!(p.stats().misses, 2);
+        assert_eq!(p.len(), 0);
+    }
+
+    #[test]
+    fn clear_and_prewarm() {
+        let mut p = BufferPool::new(8);
+        p.prewarm(3, 4);
+        assert_eq!(p.cached_fraction(3, 4), 1.0);
+        assert_eq!(p.stats().accesses(), 0, "prewarm does not count as traffic");
+        p.clear();
+        assert!(p.is_empty());
+        assert_eq!(p.cached_fraction(3, 4), 0.0);
+    }
+
+    #[test]
+    fn hit_rate() {
+        let mut p = BufferPool::new(4);
+        let k = PageKey::new(1, 0);
+        p.access(k, AccessKind::Cached);
+        p.access(k, AccessKind::Cached);
+        p.access(k, AccessKind::Cached);
+        assert!((p.stats().hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(BufferPool::new(1).stats().hit_rate(), 0.0);
+    }
+}

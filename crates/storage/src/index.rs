@@ -1,0 +1,189 @@
+//! Ordered secondary indexes.
+//!
+//! Indexes are modelled as a sorted `(key, row_id)` array packed into index
+//! pages — behaviourally a B+-tree leaf level plus an analytic interior
+//! height. Lookups report which index pages they touch so the executor can
+//! charge buffer-pool traffic for index scans and for the inner side of
+//! parameterized nested-loop joins.
+
+use crate::column::ColumnData;
+use crate::table::Table;
+use bao_common::{BaoError, Result};
+
+/// Entries per index page: 8 KiB page / ~16 bytes per (key, row) entry,
+/// with some fill-factor slack.
+pub const INDEX_ENTRIES_PER_PAGE: usize = 400;
+
+/// An ordered index over one integer or dictionary-coded text column.
+#[derive(Debug, Clone)]
+pub struct Index {
+    pub table: String,
+    pub column: String,
+    /// Sorted by key, then row id.
+    entries: Vec<(i64, u32)>,
+}
+
+/// Result of an index range probe: matching row ids plus the index pages
+/// touched while walking the tree and leaf level.
+#[derive(Debug, Clone, Default)]
+pub struct IndexProbe {
+    pub rows: Vec<u32>,
+    pub leaf_pages: Vec<u32>,
+    /// Interior (non-leaf) levels descended; charged as one page each.
+    pub height: u32,
+}
+
+impl Index {
+    /// Build an index over `table.column`. Only integer-keyed columns
+    /// (ints and dictionary-coded text) are indexable.
+    pub fn build(table: &Table, column: &str) -> Result<Index> {
+        let col = table.column(column)?;
+        if matches!(col, ColumnData::Float(_)) {
+            return Err(BaoError::TypeMismatch(format!(
+                "cannot index float column {}.{column}",
+                table.name
+            )));
+        }
+        let mut entries: Vec<(i64, u32)> = (0..table.row_count())
+            .map(|r| (col.key_at(r).expect("keyed column"), r as u32))
+            .collect();
+        entries.sort_unstable();
+        Ok(Index { table: table.name.clone(), column: column.to_string(), entries })
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of leaf pages occupied.
+    pub fn n_pages(&self) -> u32 {
+        self.entries.len().div_ceil(INDEX_ENTRIES_PER_PAGE) as u32
+    }
+
+    /// Analytic B+-tree height (interior levels above the leaves).
+    pub fn height(&self) -> u32 {
+        let mut pages = self.n_pages() as u64;
+        let mut h = 0;
+        while pages > 1 {
+            pages = pages.div_ceil(INDEX_ENTRIES_PER_PAGE as u64);
+            h += 1;
+        }
+        h
+    }
+
+    /// Probe for keys in `[lo, hi]` (inclusive both ends).
+    pub fn range(&self, lo: i64, hi: i64) -> IndexProbe {
+        if lo > hi || self.entries.is_empty() {
+            return IndexProbe { rows: vec![], leaf_pages: vec![], height: self.height() };
+        }
+        let start = self.entries.partition_point(|&(k, _)| k < lo);
+        let end = self.entries.partition_point(|&(k, _)| k <= hi);
+        let rows: Vec<u32> = self.entries[start..end].iter().map(|&(_, r)| r).collect();
+        let first_page = (start / INDEX_ENTRIES_PER_PAGE) as u32;
+        // `end` is exclusive; the last touched entry is end-1.
+        let last_page = if end > start {
+            ((end - 1) / INDEX_ENTRIES_PER_PAGE) as u32
+        } else {
+            first_page
+        };
+        IndexProbe {
+            rows,
+            leaf_pages: (first_page..=last_page).collect(),
+            height: self.height(),
+        }
+    }
+
+    /// Probe for a single key (common case: parameterized join lookups).
+    pub fn lookup(&self, key: i64) -> IndexProbe {
+        self.range(key, key)
+    }
+
+    /// All row ids in key order — an ordered full-index scan, used by
+    /// index-only scans and by merge joins that can skip their sort.
+    pub fn ordered_rows(&self) -> impl Iterator<Item = (i64, u32)> + '_ {
+        self.entries.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{ColumnDef, Schema};
+    use crate::value::{DataType, Value};
+
+    fn table_with_ints(vals: &[i64]) -> Table {
+        let mut t = Table::new("t", Schema::new(vec![ColumnDef::new("k", DataType::Int)]));
+        for &v in vals {
+            t.insert(vec![Value::Int(v)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn range_returns_matching_rows() {
+        let t = table_with_ints(&[5, 1, 9, 5, 3]);
+        let idx = Index::build(&t, "k").unwrap();
+        let probe = idx.range(3, 5);
+        // rows with values 3,5,5 -> row ids 4,0,3 in key order
+        assert_eq!(probe.rows, vec![4, 0, 3]);
+        let probe = idx.lookup(9);
+        assert_eq!(probe.rows, vec![2]);
+        let probe = idx.lookup(100);
+        assert!(probe.rows.is_empty());
+    }
+
+    #[test]
+    fn empty_and_inverted_ranges() {
+        let t = table_with_ints(&[1, 2, 3]);
+        let idx = Index::build(&t, "k").unwrap();
+        assert!(idx.range(5, 2).rows.is_empty());
+        let empty = Index::build(&table_with_ints(&[]), "k").unwrap();
+        assert!(empty.is_empty());
+        assert!(empty.range(0, 10).rows.is_empty());
+        assert_eq!(empty.n_pages(), 0);
+    }
+
+    #[test]
+    fn page_accounting() {
+        let n = INDEX_ENTRIES_PER_PAGE * 2 + 1;
+        let vals: Vec<i64> = (0..n as i64).collect();
+        let t = table_with_ints(&vals);
+        let idx = Index::build(&t, "k").unwrap();
+        assert_eq!(idx.n_pages(), 3);
+        assert_eq!(idx.height(), 1);
+        let probe = idx.range(0, (n - 1) as i64);
+        assert_eq!(probe.leaf_pages, vec![0, 1, 2]);
+        let probe = idx.lookup(0);
+        assert_eq!(probe.leaf_pages, vec![0]);
+    }
+
+    #[test]
+    fn float_columns_not_indexable() {
+        let mut t = Table::new("f", Schema::new(vec![ColumnDef::new("x", DataType::Float)]));
+        t.insert(vec![Value::Float(1.0)]).unwrap();
+        assert!(Index::build(&t, "x").is_err());
+    }
+
+    #[test]
+    fn text_columns_index_on_codes() {
+        let mut t = Table::new("s", Schema::new(vec![ColumnDef::new("kind", DataType::Text)]));
+        for s in ["movie", "tv", "movie"] {
+            t.insert(vec![Value::Str(s.into())]).unwrap();
+        }
+        let idx = Index::build(&t, "kind").unwrap();
+        let code = t.column("kind").unwrap().code_for("movie").unwrap() as i64;
+        assert_eq!(idx.lookup(code).rows, vec![0, 2]);
+    }
+
+    #[test]
+    fn ordered_rows_sorted() {
+        let t = table_with_ints(&[3, 1, 2]);
+        let idx = Index::build(&t, "k").unwrap();
+        let keys: Vec<i64> = idx.ordered_rows().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![1, 2, 3]);
+    }
+}
