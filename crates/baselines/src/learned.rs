@@ -9,7 +9,7 @@ use bao_opt::{annotate_estimates, HintSet, Optimizer};
 use bao_plan::{PlanNode, Query};
 use bao_stats::StatsCatalog;
 use bao_storage::Database;
-use rand::Rng;
+use bao_common::Rng;
 use std::collections::VecDeque;
 
 /// Which baseline this instance emulates.

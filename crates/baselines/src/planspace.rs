@@ -5,15 +5,12 @@
 //! index permits, sorts inserted under merge joins, and the query's
 //! aggregate/order-by on top.
 
-use bao_common::{BaoError, Result};
+use bao_common::{BaoError, Result, Rng, Xoshiro256};
 use bao_plan::{JoinPred, Operator, PlanNode, Query, SelectItem};
 use bao_storage::Database;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::Rng;
 
 /// Sample one random, semantically valid plan for `query`.
-pub fn random_plan(query: &Query, db: &Database, rng: &mut StdRng) -> Result<PlanNode> {
+pub fn random_plan(query: &Query, db: &Database, rng: &mut Xoshiro256) -> Result<PlanNode> {
     let n = query.tables.len();
     if n == 0 {
         return Err(BaoError::InvalidQuery("empty FROM list".into()));
@@ -36,7 +33,7 @@ pub fn random_plan(query: &Query, db: &Database, rng: &mut StdRng) -> Result<Pla
                 }
             }
         }
-        let Some((i, j, preds)) = pairs.choose(rng).cloned() else {
+        let Some((i, j, preds)) = rng.choose(&pairs).cloned() else {
             return Err(BaoError::Planning("disconnected join graph".into()));
         };
         let (right_tables, right) = frags[j].clone();
@@ -91,7 +88,7 @@ fn connecting(query: &Query, a: &[usize], b: &[usize]) -> Vec<JoinPred> {
     out
 }
 
-fn random_scan(query: &Query, db: &Database, table: usize, rng: &mut StdRng) -> PlanNode {
+fn random_scan(query: &Query, db: &Database, table: usize, rng: &mut Xoshiro256) -> PlanNode {
     let preds: Vec<_> = query.predicates_on(table).into_iter().cloned().collect();
     let stored = db.by_name(&query.tables[table].table).ok();
     // Candidate index scans: any index over a filtered column.
@@ -107,7 +104,7 @@ fn random_scan(query: &Query, db: &Database, table: usize, rng: &mut StdRng) -> 
             .map(|i| i.index.column.clone())
             .collect();
         if !usable.is_empty() && rng.gen_bool(0.5) {
-            let col = usable.choose(rng).expect("non-empty").clone();
+            let col = rng.choose(&usable).expect("non-empty").clone();
             let (lo, hi) = bounds_for(&preds, &col);
             let residual: Vec<_> =
                 preds.iter().filter(|p| p.col.column != col).cloned().collect();
@@ -148,7 +145,7 @@ fn random_join(
     right: PlanNode,
     right_tables: &[usize],
     pred: &JoinPred,
-    rng: &mut StdRng,
+    rng: &mut Xoshiro256,
 ) -> PlanNode {
     // Parameterized nested loop possible when the right side is a single
     // base relation with an index on the join key.

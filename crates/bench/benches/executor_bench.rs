@@ -1,15 +1,15 @@
 //! Microbenchmarks of the cost-accurate executor: scans, joins, and the
 //! cache-warm/cold difference.
 
+use bao_bench::timing::bench_function;
 use bao_exec::{execute, ChargeRates};
 use bao_opt::{HintSet, Optimizer};
 use bao_sql::parse_query;
 use bao_stats::StatsCatalog;
 use bao_storage::BufferPool;
 use bao_workloads::imdb::build_imdb_database;
-use criterion::{criterion_group, criterion_main, Criterion};
 
-fn bench_execution(c: &mut Criterion) {
+fn main() {
     let db = build_imdb_database(0.1, 42).unwrap();
     let cat = StatsCatalog::analyze(&db, 1_000, 42);
     let opt = Optimizer::postgres();
@@ -24,26 +24,17 @@ fn bench_execution(c: &mut Criterion) {
 
     for (name, q) in [("seq_scan_count", &scan), ("fk_join_count", &join)] {
         let plan = opt.plan(q, &db, &cat, HintSet::all_enabled()).unwrap();
-        c.bench_function(name, |b| {
-            let mut pool = BufferPool::new(1_024);
-            b.iter(|| execute(&plan.root, q, &db, &mut pool, &opt.params, &rates).unwrap())
+        let mut pool = BufferPool::new(1_024);
+        bench_function(name, 20, || {
+            execute(&plan.root, q, &db, &mut pool, &opt.params, &rates).unwrap();
         });
     }
 
     // Cold vs warm pool: the warm path should be faster in *wall* time too
     // (fewer LRU insertions).
     let plan = opt.plan(&join, &db, &cat, HintSet::all_enabled()).unwrap();
-    c.bench_function("fk_join_cold_pool", |b| {
-        b.iter(|| {
-            let mut pool = BufferPool::new(1_024);
-            execute(&plan.root, &join, &db, &mut pool, &opt.params, &rates).unwrap()
-        })
+    bench_function("fk_join_cold_pool", 20, || {
+        let mut pool = BufferPool::new(1_024);
+        execute(&plan.root, &join, &db, &mut pool, &opt.params, &rates).unwrap();
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_execution
-}
-criterion_main!(benches);

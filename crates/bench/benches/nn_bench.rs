@@ -2,10 +2,9 @@
 //! plans per query) and training (one Thompson resample), at both the
 //! experiment widths and the paper's full widths.
 
-use bao_common::rng_from_seed;
+use bao_bench::timing::{bench_function, Group};
+use bao_common::{rng_from_seed, Rng};
 use bao_nn::{train, FeatTree, TcnnConfig, TrainConfig, TreeCnn};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::Rng;
 
 fn plan_like_tree(rng: &mut impl Rng, dim: usize, nodes: usize) -> FeatTree {
     // A left-deep strict binary tree, like a binarized join plan.
@@ -13,7 +12,7 @@ fn plan_like_tree(rng: &mut impl Rng, dim: usize, nodes: usize) -> FeatTree {
     let mut feats = Vec::with_capacity(n);
     let mut left = vec![-1i32; n];
     let mut right = vec![-1i32; n];
-    for i in 0..n {
+    for _ in 0..n {
         let mut v = vec![0.0f32; dim];
         v[rng.gen_range(0..dim.min(9))] = 1.0;
         if dim > 9 {
@@ -35,45 +34,34 @@ fn plan_like_tree(rng: &mut impl Rng, dim: usize, nodes: usize) -> FeatTree {
     FeatTree::new(dim, feats, left, right)
 }
 
-fn bench_inference(c: &mut Criterion) {
+fn bench_inference() {
     let mut rng = rng_from_seed(3);
     let dim = 12;
     let tree = plan_like_tree(&mut rng, dim, 21);
-    let mut g = c.benchmark_group("tcnn_predict_21_nodes");
+    let g = Group::new("tcnn_predict_21_nodes", 10);
     for (name, cfg) in [
         ("small", TcnnConfig::small(dim)),
         ("paper_256_128_64", TcnnConfig::paper(dim)),
     ] {
         let net = TreeCnn::new(cfg, 1);
-        g.bench_with_input(BenchmarkId::from_parameter(name), &net, |b, net| {
-            b.iter(|| net.predict(&tree))
+        g.bench(name, || {
+            net.predict(&tree);
         });
     }
-    g.finish();
 }
 
-fn bench_training(c: &mut Criterion) {
+fn bench_training() {
     let mut rng = rng_from_seed(4);
     let dim = 12;
-    let trees: Vec<FeatTree> =
-        (0..128).map(|_| plan_like_tree(&mut rng, dim, 15)).collect();
+    let trees: Vec<FeatTree> = (0..128).map(|_| plan_like_tree(&mut rng, dim, 15)).collect();
     let ys: Vec<f32> = (0..trees.len()).map(|_| rng.gen_range(-1.0..1.0)).collect();
-    c.bench_function("tcnn_train_128x5_epochs_small", |b| {
-        b.iter(|| {
-            let mut net = TreeCnn::new(TcnnConfig::small(dim), 2);
-            train(
-                &mut net,
-                &trees,
-                &ys,
-                &TrainConfig { max_epochs: 5, ..TrainConfig::default() },
-            )
-        })
+    bench_function("tcnn_train_128x5_epochs_small", 10, || {
+        let mut net = TreeCnn::new(TcnnConfig::small(dim), 2);
+        train(&mut net, &trees, &ys, &TrainConfig { max_epochs: 5, ..TrainConfig::default() });
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_inference, bench_training
+fn main() {
+    bench_inference();
+    bench_training();
 }
-criterion_main!(benches);

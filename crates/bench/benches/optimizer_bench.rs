@@ -2,13 +2,13 @@
 //! (PostgreSQL's job per query) and all-arm planning (Bao's per-query
 //! overhead), backing the §6.2 optimization-time discussion.
 
+use bao_bench::timing::{bench_function, Group};
 use bao_common::rng_from_seed;
 use bao_opt::{HintSet, Optimizer};
 use bao_stats::StatsCatalog;
 use bao_workloads::imdb::{build_imdb_database, instantiate_template};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench_planning(c: &mut Criterion) {
+fn bench_planning() {
     let db = build_imdb_database(0.1, 42).unwrap();
     let cat = StatsCatalog::analyze(&db, 1_000, 42);
     let opt = Optimizer::postgres();
@@ -16,29 +16,25 @@ fn bench_planning(c: &mut Criterion) {
     let (_, two_way) = instantiate_template(1, 0.1, &mut rng);
     let (_, four_way) = instantiate_template(8, 0.1, &mut rng);
 
-    let mut g = c.benchmark_group("plan_single_arm");
+    let g = Group::new("plan_single_arm", 20);
     for (name, q) in [("2way", &two_way), ("4way", &four_way)] {
-        g.bench_with_input(BenchmarkId::from_parameter(name), q, |b, q| {
-            b.iter(|| opt.plan(q, &db, &cat, HintSet::all_enabled()).unwrap())
+        g.bench(name, || {
+            opt.plan(q, &db, &cat, HintSet::all_enabled()).unwrap();
         });
     }
-    g.finish();
 
-    let mut g = c.benchmark_group("plan_all_arms");
+    let g = Group::new("plan_all_arms", 20);
     for arms in [5usize, 49] {
         let family = HintSet::top_arms(arms);
-        g.bench_with_input(BenchmarkId::from_parameter(arms), &family, |b, family| {
-            b.iter(|| {
-                for &h in family {
-                    opt.plan(&four_way, &db, &cat, h).unwrap();
-                }
-            })
+        g.bench(&arms.to_string(), || {
+            for &h in &family {
+                opt.plan(&four_way, &db, &cat, h).unwrap();
+            }
         });
     }
-    g.finish();
 }
 
-fn bench_estimators(c: &mut Criterion) {
+fn bench_estimators() {
     use bao_plan::CmpOp;
     use bao_stats::{Estimator, PostgresEstimator, ResolvedPred, SampleEstimator};
     let db = build_imdb_database(0.1, 42).unwrap();
@@ -47,17 +43,15 @@ fn bench_estimators(c: &mut Criterion) {
         ResolvedPred { column: "production_year".into(), op: CmpOp::Ge, x: 2000.0 },
         ResolvedPred { column: "kind_id".into(), op: CmpOp::Eq, x: 2.0 },
     ];
-    c.bench_function("scan_selectivity_histogram", |b| {
-        b.iter(|| PostgresEstimator.scan_selectivity(&cat, "title", &preds))
+    bench_function("scan_selectivity_histogram", 20, || {
+        PostgresEstimator.scan_selectivity(&cat, "title", &preds);
     });
-    c.bench_function("scan_selectivity_sample", |b| {
-        b.iter(|| SampleEstimator.scan_selectivity(&cat, "title", &preds))
+    bench_function("scan_selectivity_sample", 20, || {
+        SampleEstimator.scan_selectivity(&cat, "title", &preds);
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_planning, bench_estimators
+fn main() {
+    bench_planning();
+    bench_estimators();
 }
-criterion_main!(benches);

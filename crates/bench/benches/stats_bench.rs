@@ -1,38 +1,24 @@
 //! Microbenchmarks of the statistics substrate: ANALYZE and join
 //! selectivity (the memoized sample-estimator path vs uniformity).
 
+use bao_bench::timing::bench_function;
 use bao_stats::{Estimator, PostgresEstimator, SampleEstimator, StatsCatalog};
 use bao_workloads::imdb::build_imdb_database;
-use criterion::{criterion_group, criterion_main, Criterion};
 
-fn bench_analyze(c: &mut Criterion) {
+fn main() {
     let db = build_imdb_database(0.1, 42).unwrap();
-    c.bench_function("analyze_imdb_scale01", |b| {
-        b.iter(|| StatsCatalog::analyze(&db, 1_000, 7))
+    bench_function("analyze_imdb_scale01", 10, || {
+        StatsCatalog::analyze(&db, 1_000, 7);
     });
-}
 
-fn bench_join_selectivity(c: &mut Criterion) {
-    let db = build_imdb_database(0.1, 42).unwrap();
     let cat = StatsCatalog::analyze(&db, 1_000, 7);
-    c.bench_function("join_sel_uniformity", |b| {
-        b.iter(|| {
-            PostgresEstimator.join_selectivity(&cat, "title", "id", "cast_info", "movie_id")
-        })
+    bench_function("join_sel_uniformity", 10, || {
+        PostgresEstimator.join_selectivity(&cat, "title", "id", "cast_info", "movie_id");
     });
     // First call computes the frequency-sketch intersection; later calls
     // hit the memo — this measures the memoized steady state.
     SampleEstimator.join_selectivity(&cat, "title", "id", "cast_info", "movie_id");
-    c.bench_function("join_sel_sample_memoized", |b| {
-        b.iter(|| {
-            SampleEstimator.join_selectivity(&cat, "title", "id", "cast_info", "movie_id")
-        })
+    bench_function("join_sel_sample_memoized", 10, || {
+        SampleEstimator.join_selectivity(&cat, "title", "id", "cast_info", "movie_id");
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_analyze, bench_join_selectivity
-}
-criterion_main!(benches);

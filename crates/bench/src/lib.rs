@@ -11,6 +11,7 @@
 pub mod cli;
 pub mod report;
 pub mod setups;
+pub mod timing;
 
 pub use cli::Args;
 pub use report::{percentile_row, print_header, print_table, Table};

@@ -1,0 +1,105 @@
+//! A minimal wall-clock microbenchmark harness (no external crates).
+//!
+//! Each benchmark auto-calibrates a batch size so one timed sample lasts
+//! at least a few milliseconds, runs a fixed number of samples, and
+//! reports min/median/mean per-iteration time. Used by the
+//! `crates/bench/benches/*` binaries (`cargo bench`), which are plain
+//! `main` functions (`harness = false`).
+
+use std::time::{Duration, Instant};
+
+/// Target duration for one timed sample; fast closures are batched until
+/// a sample takes at least this long.
+const TARGET_SAMPLE: Duration = Duration::from_millis(5);
+
+/// A group of related benchmarks printed under one heading.
+pub struct Group {
+    name: String,
+    samples: usize,
+}
+
+impl Group {
+    pub fn new(name: &str, samples: usize) -> Group {
+        println!("\n== {name} ==");
+        Group { name: name.to_string(), samples: samples.max(2) }
+    }
+
+    /// Time `f`, printing per-iteration statistics.
+    pub fn bench<F: FnMut()>(&self, label: &str, mut f: F) {
+        // Warmup + calibration: find a batch size whose wall time reaches
+        // the target, so Instant overhead is negligible even for
+        // microsecond-scale closures.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            let t = start.elapsed();
+            if t >= TARGET_SAMPLE || batch >= 1 << 20 {
+                break;
+            }
+            let scale = (TARGET_SAMPLE.as_secs_f64() / t.as_secs_f64().max(1e-9)).ceil();
+            batch = (batch as f64 * scale.min(1024.0)) as u64;
+        }
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            per_iter.push(start.elapsed().as_secs_f64() / batch as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let min = per_iter[0];
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        println!(
+            "{:<40} min {:>12} | median {:>12} | mean {:>12}  ({} samples x {} iters)",
+            format!("{}/{label}", self.name),
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(mean),
+            self.samples,
+            batch,
+        );
+    }
+}
+
+/// One standalone benchmark (its own group of one).
+pub fn bench_function<F: FnMut()>(name: &str, samples: usize, f: F) {
+    Group { name: name.to_string(), samples: samples.max(2) }.bench("run", f);
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_across_magnitudes() {
+        assert_eq!(fmt_time(2.5), "2.500 s");
+        assert_eq!(fmt_time(2.5e-3), "2.500 ms");
+        assert_eq!(fmt_time(2.5e-6), "2.500 us");
+        assert_eq!(fmt_time(2.5e-9), "2.5 ns");
+    }
+
+    #[test]
+    fn bench_runs_closure() {
+        let mut n = 0u64;
+        Group::new("t", 2).bench("count", || n += 1);
+        assert!(n > 0);
+    }
+}

@@ -12,12 +12,12 @@
 //! setup, where the largest class comfortably caches the hot set and the
 //! smallest thrashes.
 
+use bao_common::json::{Json, ToJson};
 use bao_common::SimDuration;
 use bao_exec::ChargeRates;
-use serde::{Deserialize, Serialize};
 
 /// A Google-Cloud-like VM class.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VmType {
     pub name: &'static str,
     pub vcpus: u32,
@@ -94,10 +94,27 @@ pub fn gpu_train_time(window: usize, epochs: usize) -> SimDuration {
 }
 
 /// Dollar cost of a workload run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CostReport {
     pub vm_usd: f64,
     pub gpu_usd: f64,
+}
+
+impl ToJson for VmType {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", self.name.to_json()),
+            ("vcpus", self.vcpus.to_json()),
+            ("ram_gb", self.ram_gb.to_json()),
+            ("usd_per_hour", self.usd_per_hour.to_json()),
+        ])
+    }
+}
+
+impl ToJson for CostReport {
+    fn to_json(&self) -> Json {
+        Json::obj([("vm_usd", self.vm_usd.to_json()), ("gpu_usd", self.gpu_usd.to_json())])
+    }
 }
 
 impl CostReport {

@@ -3,10 +3,12 @@
 //! across every crate in the workspace.
 
 pub mod error;
+pub mod json;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use error::{BaoError, Result};
-pub use rng::{rng_from_seed, split_seed};
+pub use json::{FromJson, Json, ToJson};
+pub use rng::{rng_from_seed, split_seed, Rng, RngCore, Xoshiro256};
 pub use time::SimDuration;

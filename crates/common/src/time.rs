@@ -6,13 +6,26 @@
 //! durations are plain `f64` milliseconds under the hood: cheap to copy,
 //! exact enough for cost accounting, and trivially serializable.
 
-use serde::{Deserialize, Serialize};
+use crate::json::{FromJson, Json, ToJson};
+use crate::Result;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
 
 /// A span of simulated time, stored as fractional milliseconds.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct SimDuration(f64);
+
+impl ToJson for SimDuration {
+    fn to_json(&self) -> Json {
+        Json::F(self.0)
+    }
+}
+
+impl FromJson for SimDuration {
+    fn from_json(j: &Json) -> Result<Self> {
+        f64::from_json(j).map(SimDuration)
+    }
+}
 
 impl SimDuration {
     pub const ZERO: SimDuration = SimDuration(0.0);

@@ -209,16 +209,15 @@ impl Bao {
             // One planner invocation per arm, fanned out over threads.
             // Planning is read-only over (query, db, cat), so arms are
             // embarrassingly parallel; results come back in arm order.
-            let results: Vec<Result<PlanOutput>> = crossbeam::thread::scope(|scope| {
+            let results: Vec<Result<PlanOutput>> = std::thread::scope(|scope| {
                 let handles: Vec<_> = self
                     .cfg
                     .arms
                     .iter()
-                    .map(|&arm| scope.spawn(move |_| opt.plan(query, db, cat, arm)))
+                    .map(|&arm| scope.spawn(move || opt.plan(query, db, cat, arm)))
                     .collect();
                 handles.into_iter().map(|h| h.join().expect("planner thread")).collect()
-            })
-            .expect("planning scope");
+            });
             results.into_iter().collect::<Result<Vec<_>>>()?
         } else {
             let mut outputs = Vec::with_capacity(self.cfg.arms.len());

@@ -248,6 +248,27 @@ fn triggered_exploration_pins_critical_queries() {
 }
 
 #[test]
+fn parallel_planning_returns_arms_in_order() {
+    // The std::thread::scope fan-out must hand results back in arm order:
+    // each returned plan equals what planning that arm directly produces.
+    let (db, cat) = setup(3_000);
+    let opt = Optimizer::postgres();
+    let pool = BufferPool::new(512);
+    let arms = HintSet::top_arms(8);
+    let bao = small_bao(arms.clone(), 1_000, 100);
+    let q = &queries()[0];
+    let (_, pairs) = bao.evaluate_arms(&opt, q, &db, &cat, Some(&pool)).unwrap();
+    assert_eq!(pairs.len(), arms.len());
+    for (i, &arm) in arms.iter().enumerate() {
+        let direct = opt.plan(q, &db, &cat, arm).unwrap();
+        let shape = |p: &bao_plan::PlanNode| {
+            (p.join_order_signature(), p.join_algos(), p.access_paths())
+        };
+        assert_eq!(shape(&pairs[i].0), shape(&direct.root), "arm {i} came back out of order");
+    }
+}
+
+#[test]
 fn parallel_and_sequential_planning_agree() {
     let (db, cat) = setup(3_000);
     let opt = Optimizer::postgres();

@@ -1,9 +1,9 @@
 //! Cost meters and simulated-time conversion.
 
-use bao_common::SimDuration;
+use bao_common::json::{self, FromJson, Json, ToJson};
+use bao_common::{Result, SimDuration};
 use bao_opt::CostParams;
 use bao_storage::{AccessKind, BufferPool, PageKey};
-use serde::{Deserialize, Serialize};
 
 /// Conversion from cost units to simulated milliseconds.
 ///
@@ -12,10 +12,28 @@ use serde::{Deserialize, Serialize};
 /// tail catastrophes in minutes): one CPU cost unit — priced like
 /// PostgreSQL, where `cpu_tuple_cost = 0.01` — is 0.05 ms, and one I/O
 /// cost unit (a sequential page read = 1.0) is 0.1 ms.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChargeRates {
     pub ms_per_cpu_unit: f64,
     pub ms_per_io_unit: f64,
+}
+
+impl ToJson for ChargeRates {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("ms_per_cpu_unit", self.ms_per_cpu_unit.to_json()),
+            ("ms_per_io_unit", self.ms_per_io_unit.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ChargeRates {
+    fn from_json(j: &Json) -> Result<ChargeRates> {
+        Ok(ChargeRates {
+            ms_per_cpu_unit: json::field(j, "ms_per_cpu_unit")?,
+            ms_per_io_unit: json::field(j, "ms_per_io_unit")?,
+        })
+    }
 }
 
 impl Default for ChargeRates {

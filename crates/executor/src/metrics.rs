@@ -1,12 +1,12 @@
 //! Per-query execution metrics and the configurable performance metric
 //! Bao optimizes (paper §3: "a user-defined performance metric P").
 
-use bao_common::SimDuration;
+use bao_common::json::{FromJson, Json, ToJson};
+use bao_common::{BaoError, Result, SimDuration};
 use bao_storage::Value;
-use serde::{Deserialize, Serialize};
 
 /// What Bao's reward measures (Figure 16 trains Bao against each).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PerfMetric {
     /// End-to-end simulated latency (the default).
     Latency,
@@ -14,6 +14,30 @@ pub enum PerfMetric {
     CpuTime,
     /// Physical I/O requests (buffer-pool misses).
     PhysicalIo,
+}
+
+impl ToJson for PerfMetric {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                PerfMetric::Latency => "Latency",
+                PerfMetric::CpuTime => "CpuTime",
+                PerfMetric::PhysicalIo => "PhysicalIo",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl FromJson for PerfMetric {
+    fn from_json(j: &Json) -> Result<PerfMetric> {
+        match j.as_str() {
+            Some("Latency") => Ok(PerfMetric::Latency),
+            Some("CpuTime") => Ok(PerfMetric::CpuTime),
+            Some("PhysicalIo") => Ok(PerfMetric::PhysicalIo),
+            _ => Err(BaoError::Parse(format!("unknown PerfMetric {j:?}"))),
+        }
+    }
 }
 
 /// Everything observed while executing one plan.
@@ -33,6 +57,21 @@ pub struct ExecutionMetrics {
     /// Result rows (projected select-list values); capped for large
     /// non-aggregate results.
     pub output: Vec<Vec<Value>>,
+}
+
+impl ToJson for ExecutionMetrics {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("latency", self.latency.to_json()),
+            ("cpu_time", self.cpu_time.to_json()),
+            ("io_time", self.io_time.to_json()),
+            ("page_hits", self.page_hits.to_json()),
+            ("page_misses", self.page_misses.to_json()),
+            ("rows_out", self.rows_out.to_json()),
+            ("node_true_rows", self.node_true_rows.to_json()),
+            ("output", self.output.to_json()),
+        ])
+    }
 }
 
 impl ExecutionMetrics {

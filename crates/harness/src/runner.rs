@@ -1,6 +1,7 @@
 //! The workload runner.
 
 use bao_cloud::{gpu_train_time, CostReport, VmType};
+use bao_common::json::{Json, ToJson};
 use bao_common::{split_seed, BaoError, Result, SimDuration};
 use bao_core::{Bao, BaoConfig};
 use bao_exec::{execute, PerfMetric};
@@ -179,6 +180,37 @@ pub struct RunResult {
     pub total_gpu: SimDuration,
     /// Real wall-clock spent training models in this process.
     pub wall_train: std::time::Duration,
+}
+
+impl ToJson for QueryRecord {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("idx", self.idx.to_json()),
+            ("label", self.label.to_json()),
+            ("arm", self.arm.to_json()),
+            ("opt_time", self.opt_time.to_json()),
+            ("latency", self.latency.to_json()),
+            ("cpu_time", self.cpu_time.to_json()),
+            ("physical_io", self.physical_io.to_json()),
+            ("perf", self.perf.to_json()),
+            ("clock", self.clock.to_json()),
+            ("gpu_time", self.gpu_time.to_json()),
+            ("arm_perfs", self.arm_perfs.to_json()),
+            ("plan", self.plan.to_json()),
+        ])
+    }
+}
+
+impl ToJson for RunResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("records", self.records.to_json()),
+            ("total_exec", self.total_exec.to_json()),
+            ("total_opt", self.total_opt.to_json()),
+            ("total_gpu", self.total_gpu.to_json()),
+            ("wall_train_secs", self.wall_train.as_secs_f64().to_json()),
+        ])
+    }
 }
 
 impl RunResult {
@@ -405,5 +437,67 @@ impl RunResult {
         } else {
             Ok(())
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bao_common::json;
+    use bao_plan::{Operator, PlanNode};
+
+    fn sample_result() -> RunResult {
+        let plan = PlanNode::new(
+            Operator::HashJoin {
+                pred: bao_plan::JoinPred::new(
+                    bao_plan::ColRef::new(0, "id"),
+                    bao_plan::ColRef::new(1, "movie_id"),
+                ),
+            },
+            vec![
+                PlanNode::new(Operator::SeqScan { table: 0, preds: vec![] }, vec![])
+                    .with_estimates(100.0, 10.5),
+                PlanNode::new(Operator::SeqScan { table: 1, preds: vec![] }, vec![]),
+            ],
+        );
+        let record = QueryRecord {
+            idx: 3,
+            label: "q16b".into(),
+            arm: 2,
+            opt_time: SimDuration::from_ms(1.5),
+            latency: SimDuration::from_ms(250.25),
+            cpu_time: SimDuration::from_ms(200.0),
+            physical_io: 1 << 60, // exercises the u64 lane past 2^53
+            perf: 250.25,
+            clock: SimDuration::from_ms(251.75),
+            gpu_time: SimDuration::ZERO,
+            arm_perfs: Some(vec![250.25, 300.0]),
+            plan,
+        };
+        RunResult {
+            records: vec![record],
+            total_exec: SimDuration::from_ms(250.25),
+            total_opt: SimDuration::from_ms(1.5),
+            total_gpu: SimDuration::ZERO,
+            wall_train: std::time::Duration::from_millis(12),
+        }
+    }
+
+    #[test]
+    fn run_report_json_round_trips_through_writer_and_parser() {
+        let result = sample_result();
+        let j = result.to_json();
+        for text in [j.to_string(), j.to_string_pretty()] {
+            let back = json::parse(&text).unwrap();
+            assert_eq!(back, j, "writer output must parse back to the same value");
+        }
+        // Spot-check that typed values survive the text round trip.
+        let back = json::parse(&j.to_string()).unwrap();
+        let records = back.get("records").and_then(|r| r.as_arr()).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(json::field::<String>(&records[0], "label").unwrap(), "q16b");
+        assert_eq!(json::field::<u64>(&records[0], "physical_io").unwrap(), 1u64 << 60);
+        assert_eq!(json::field::<f64>(&records[0], "perf").unwrap(), 250.25);
+        assert!(records[0].get("plan").and_then(|p| p.get("op")).is_some());
     }
 }

@@ -5,8 +5,7 @@
 //! (Osband & Van Roy [63]). Training on a fresh bootstrap each retrain
 //! approximates sampling model parameters from P(θ | E).
 
-use bao_common::rng_from_seed;
-use rand::Rng;
+use bao_common::{rng_from_seed, Rng};
 
 /// Draw `n` indices uniformly with replacement from `0..n`.
 pub fn bootstrap_sample(n: usize, seed: u64) -> Vec<usize> {

@@ -8,10 +8,8 @@
 use crate::norm::TargetNorm;
 use crate::pooled::pooled_features;
 use crate::ValueModel;
-use bao_common::{rng_from_seed, split_seed, BaoError, Result};
+use bao_common::{rng_from_seed, split_seed, BaoError, Result, Rng};
 use bao_nn::FeatTree;
-use rand::seq::SliceRandom;
-use rand::Rng;
 
 /// Forest hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -77,7 +75,7 @@ fn build(
     // Feature subsampling: ~sqrt(d) features per split.
     let k = ((d as f64).sqrt().ceil() as usize).clamp(1, d);
     let mut feats: Vec<usize> = (0..d).collect();
-    feats.shuffle(rng);
+    rng.shuffle(&mut feats);
     feats.truncate(k);
 
     let parent_sse = sse(&here);

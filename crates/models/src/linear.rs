@@ -153,8 +153,7 @@ impl ValueModel for LinearModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bao_common::rng_from_seed;
-    use rand::Rng;
+    use bao_common::{rng_from_seed, Rng};
 
     #[test]
     fn solver_inverts_known_system() {

@@ -2,6 +2,7 @@
 
 use crate::norm::TargetNorm;
 use crate::ValueModel;
+use bao_common::json::{self, Json, ToJson};
 use bao_common::{BaoError, Result};
 use bao_nn::{train, FeatTree, TcnnConfig, TrainConfig, TreeCnn};
 
@@ -11,7 +12,7 @@ use bao_nn::{train, FeatTree, TcnnConfig, TrainConfig, TreeCnn};
 /// Serializable: [`TcnnModel::to_json`]/[`TcnnModel::from_json`] persist a
 /// trained model (weights + target normalization) so a deployment can
 /// restart without retraining — the paper's low-integration-cost story.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TcnnModel {
     cfg: TcnnConfig,
     train_cfg: TrainConfig,
@@ -38,13 +39,29 @@ impl TcnnModel {
 
     /// Serialize the model (weights, config, normalization) to JSON.
     pub fn to_json(&self) -> Result<String> {
-        serde_json::to_string(self).map_err(|e| BaoError::Config(format!("serialize: {e}")))
+        let j = Json::obj([
+            ("cfg", self.cfg.to_json()),
+            ("train_cfg", self.train_cfg.to_json()),
+            ("net", self.net.as_ref().map(ToJson::to_json).unwrap_or(Json::Null)),
+            ("norm", self.norm.to_json()),
+            ("last_epochs", self.last_epochs.to_json()),
+        ]);
+        Ok(j.to_string())
     }
 
     /// Restore a model saved with [`TcnnModel::to_json`].
-    pub fn from_json(json: &str) -> Result<TcnnModel> {
-        let mut m: TcnnModel =
-            serde_json::from_str(json).map_err(|e| BaoError::Config(format!("parse: {e}")))?;
+    pub fn from_json(text: &str) -> Result<TcnnModel> {
+        let j = json::parse(text).map_err(|e| BaoError::Config(format!("parse: {e}")))?;
+        let decode = || -> Result<TcnnModel> {
+            Ok(TcnnModel {
+                cfg: json::field(&j, "cfg")?,
+                train_cfg: json::field(&j, "train_cfg")?,
+                net: json::field(&j, "net")?,
+                norm: json::field(&j, "norm")?,
+                last_epochs: json::field(&j, "last_epochs")?,
+            })
+        };
+        let mut m = decode().map_err(|e| BaoError::Config(format!("parse: {e}")))?;
         if let Some(net) = &mut m.net {
             net.reset_scratch();
         }
@@ -88,8 +105,7 @@ impl ValueModel for TcnnModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bao_common::rng_from_seed;
-    use rand::Rng;
+    use bao_common::{rng_from_seed, Rng};
 
     /// Synthetic plan-like trees where the target is the sum of the
     /// "cost" feature — learnable, latency-scaled.

@@ -1,15 +1,38 @@
 //! The Adam optimizer (Kingma & Ba), as used for all paper training runs.
 
 use crate::param::Param;
-use serde::{Deserialize, Serialize};
+use bao_common::json::{self, FromJson, Json, ToJson};
+use bao_common::Result;
 
 /// Adam hyperparameters; defaults match the paper's training setup.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AdamConfig {
     pub lr: f32,
     pub beta1: f32,
     pub beta2: f32,
     pub eps: f32,
+}
+
+impl ToJson for AdamConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("lr", self.lr.to_json()),
+            ("beta1", self.beta1.to_json()),
+            ("beta2", self.beta2.to_json()),
+            ("eps", self.eps.to_json()),
+        ])
+    }
+}
+
+impl FromJson for AdamConfig {
+    fn from_json(j: &Json) -> Result<AdamConfig> {
+        Ok(AdamConfig {
+            lr: json::field(j, "lr")?,
+            beta1: json::field(j, "beta1")?,
+            beta2: json::field(j, "beta2")?,
+            eps: json::field(j, "eps")?,
+        })
+    }
 }
 
 impl Default for AdamConfig {

@@ -7,13 +7,13 @@ use crate::layers::{
 };
 use crate::param::Param;
 use crate::tree::FeatTree;
-use bao_common::split_seed;
-use serde::{Deserialize, Serialize};
+use bao_common::json::{self, FromJson, Json, ToJson};
+use bao_common::{split_seed, Result, Rng, RngCore};
 
 /// Network shape. `channels` are the three tree-convolution widths and
 /// `hidden` the width of the first fully connected layer; the output is a
 /// single cost prediction.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TcnnConfig {
     pub input_dim: usize,
     pub channels: [usize; 3],
@@ -53,16 +53,50 @@ impl TcnnConfig {
     }
 }
 
+impl ToJson for TcnnConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("input_dim", self.input_dim.to_json()),
+            ("channels", self.channels.to_json()),
+            ("hidden", self.hidden.to_json()),
+            ("dropout", self.dropout.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TcnnConfig {
+    fn from_json(j: &Json) -> Result<TcnnConfig> {
+        Ok(TcnnConfig {
+            input_dim: json::field(j, "input_dim")?,
+            channels: json::field(j, "channels")?,
+            hidden: json::field(j, "hidden")?,
+            dropout: json::field(j, "dropout")?,
+        })
+    }
+}
+
 /// One layer-norm parameter pair.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct LnParams {
     gamma: Param,
     beta: Param,
 }
 
+impl ToJson for LnParams {
+    fn to_json(&self) -> Json {
+        Json::obj([("gamma", self.gamma.to_json()), ("beta", self.beta.to_json())])
+    }
+}
+
+impl FromJson for LnParams {
+    fn from_json(j: &Json) -> Result<LnParams> {
+        Ok(LnParams { gamma: json::field(j, "gamma")?, beta: json::field(j, "beta")? })
+    }
+}
+
 /// The TCNN: 3 × (tree conv → layer norm → ReLU) → dynamic max pool →
 /// FC → ReLU → FC → scalar.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TreeCnn {
     pub cfg: TcnnConfig,
     conv: Vec<TreeConvParams>,
@@ -71,6 +105,34 @@ pub struct TreeCnn {
     fc1_b: Param,
     fc2_w: Param,
     fc2_b: Param,
+}
+
+impl ToJson for TreeCnn {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("cfg", self.cfg.to_json()),
+            ("conv", self.conv.to_json()),
+            ("ln", self.ln.to_json()),
+            ("fc1_w", self.fc1_w.to_json()),
+            ("fc1_b", self.fc1_b.to_json()),
+            ("fc2_w", self.fc2_w.to_json()),
+            ("fc2_b", self.fc2_b.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TreeCnn {
+    fn from_json(j: &Json) -> Result<TreeCnn> {
+        Ok(TreeCnn {
+            cfg: json::field(j, "cfg")?,
+            conv: json::field(j, "conv")?,
+            ln: json::field(j, "ln")?,
+            fc1_w: json::field(j, "fc1_w")?,
+            fc1_b: json::field(j, "fc1_b")?,
+            fc2_w: json::field(j, "fc2_w")?,
+            fc2_b: json::field(j, "fc2_b")?,
+        })
+    }
 }
 
 /// Cached activations from one forward pass, consumed by `backward`.
@@ -121,13 +183,13 @@ impl TreeCnn {
     /// One stochastic posterior draw via MC-dropout: dropout masks stay
     /// active at inference (Gal & Ghahramani). Only meaningful when the
     /// network was configured (and trained) with `dropout > 0`.
-    pub fn predict_sample(&self, tree: &FeatTree, rng: &mut impl rand::Rng) -> f32 {
-        self.forward_inner(tree, Some(rng as &mut dyn rand::RngCore)).0
+    pub fn predict_sample(&self, tree: &FeatTree, rng: &mut impl Rng) -> f32 {
+        self.forward_inner(tree, Some(rng as &mut dyn RngCore)).0
     }
 
     /// Training forward pass (dropout active when configured).
-    pub fn forward_train(&self, tree: &FeatTree, rng: &mut impl rand::Rng) -> (f32, Tape) {
-        self.forward_inner(tree, Some(rng as &mut dyn rand::RngCore))
+    pub fn forward_train(&self, tree: &FeatTree, rng: &mut impl Rng) -> (f32, Tape) {
+        self.forward_inner(tree, Some(rng as &mut dyn RngCore))
     }
 
     /// Forward pass returning the prediction and the tape for `backward`.
@@ -140,7 +202,7 @@ impl TreeCnn {
     fn forward_inner(
         &self,
         tree: &FeatTree,
-        mut rng: Option<&mut dyn rand::RngCore>,
+        mut rng: Option<&mut dyn RngCore>,
     ) -> (f32, Tape) {
         debug_assert_eq!(tree.feat_dim, self.cfg.input_dim, "feature dim mismatch");
         let p = self.cfg.dropout;
@@ -161,11 +223,10 @@ impl TreeCnn {
             let mut act = relu_forward(&ln_out);
             let mask = match (&mut rng, p > 0.0) {
                 (Some(rng), true) => {
-                    use rand::Rng;
                     let keep = 1.0 / (1.0 - p);
                     let mask: Vec<f32> = act
                         .iter()
-                        .map(|_| if rng.gen::<f32>() < p { 0.0 } else { keep })
+                        .map(|_| if rng.gen_f32() < p { 0.0 } else { keep })
                         .collect();
                     for (a, m) in act.iter_mut().zip(mask.iter()) {
                         *a *= m;
@@ -263,7 +324,6 @@ impl TreeCnn {
 mod tests {
     use super::*;
     use bao_common::rng_from_seed;
-    use rand::Rng;
 
     fn random_tree(rng: &mut impl Rng, dim: usize) -> FeatTree {
         // A fixed 5-node binary shape with random features.
@@ -368,8 +428,8 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let net = TreeCnn::new(TcnnConfig::tiny(3), 5);
-        let json = serde_json::to_string(&net).unwrap();
-        let mut restored: TreeCnn = serde_json::from_str(&json).unwrap();
+        let text = net.to_json().to_string();
+        let mut restored = TreeCnn::from_json(&bao_common::json::parse(&text).unwrap()).unwrap();
         restored.reset_scratch();
         let mut rng = rng_from_seed(1);
         let tree = random_tree(&mut rng, 3);

@@ -1,22 +1,43 @@
 //! Parameter tensors with gradient and Adam-moment storage.
 
-use bao_common::rng_from_seed;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use bao_common::json::{self, FromJson, Json, ToJson};
+use bao_common::{rng_from_seed, Result, Rng};
 
 /// A learnable tensor: weights, accumulated gradient, and Adam moments.
 /// Stored row-major as `rows × cols` (a vector parameter has `cols == 1`).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// Only `w` is serialized; scratch buffers stay empty until
+/// [`Param::reset_scratch`].
+#[derive(Debug, Clone)]
 pub struct Param {
     pub rows: usize,
     pub cols: usize,
     pub w: Vec<f32>,
-    #[serde(skip)]
     pub g: Vec<f32>,
-    #[serde(skip)]
     pub m: Vec<f32>,
-    #[serde(skip)]
     pub v: Vec<f32>,
+}
+
+impl ToJson for Param {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("rows", self.rows.to_json()),
+            ("cols", self.cols.to_json()),
+            ("w", self.w.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Param {
+    fn from_json(j: &Json) -> Result<Param> {
+        Ok(Param {
+            rows: json::field(j, "rows")?,
+            cols: json::field(j, "cols")?,
+            w: json::field(j, "w")?,
+            g: Vec::new(),
+            m: Vec::new(),
+            v: Vec::new(),
+        })
+    }
 }
 
 impl Param {
@@ -156,8 +177,8 @@ mod tests {
     #[test]
     fn serde_skips_scratch() {
         let p = Param::he(2, 2, 3);
-        let json = serde_json::to_string(&p).unwrap();
-        let mut q: Param = serde_json::from_str(&json).unwrap();
+        let text = p.to_json().to_string();
+        let mut q = Param::from_json(&bao_common::json::parse(&text).unwrap()).unwrap();
         assert_eq!(p.w, q.w);
         assert!(q.g.is_empty());
         q.reset_scratch();

@@ -7,12 +7,11 @@
 use crate::adam::{Adam, AdamConfig};
 use crate::net::TreeCnn;
 use crate::tree::FeatTree;
-use bao_common::rng_from_seed;
-use rand::seq::SliceRandom;
-use serde::{Deserialize, Serialize};
+use bao_common::json::{self, FromJson, Json, ToJson};
+use bao_common::{rng_from_seed, Result, Rng};
 
 /// Training-loop configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrainConfig {
     pub max_epochs: usize,
     pub batch_size: usize,
@@ -21,6 +20,32 @@ pub struct TrainConfig {
     pub patience: usize,
     pub min_improvement: f64,
     pub seed: u64,
+}
+
+impl ToJson for TrainConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("max_epochs", self.max_epochs.to_json()),
+            ("batch_size", self.batch_size.to_json()),
+            ("adam", self.adam.to_json()),
+            ("patience", self.patience.to_json()),
+            ("min_improvement", self.min_improvement.to_json()),
+            ("seed", self.seed.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TrainConfig {
+    fn from_json(j: &Json) -> Result<TrainConfig> {
+        Ok(TrainConfig {
+            max_epochs: json::field(j, "max_epochs")?,
+            batch_size: json::field(j, "batch_size")?,
+            adam: json::field(j, "adam")?,
+            patience: json::field(j, "patience")?,
+            min_improvement: json::field(j, "min_improvement")?,
+            seed: json::field(j, "seed")?,
+        })
+    }
 }
 
 impl Default for TrainConfig {
@@ -63,7 +88,7 @@ pub fn train(
     let mut history: Vec<f64> = Vec::with_capacity(cfg.max_epochs);
 
     for epoch in 0..cfg.max_epochs {
-        order.shuffle(&mut rng);
+        rng.shuffle(&mut order);
         let mut epoch_loss = 0.0f64;
         for batch in order.chunks(cfg.batch_size.max(1)) {
             net.zero_grad();
@@ -100,7 +125,6 @@ pub fn train(
 mod tests {
     use super::*;
     use crate::net::TcnnConfig;
-    use rand::Rng;
 
     /// Trees whose target is a simple function of their features: the net
     /// must be able to fit it.

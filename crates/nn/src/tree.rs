@@ -1,6 +1,7 @@
 //! Binarized feature trees: the TCNN's input format.
 
-use serde::{Deserialize, Serialize};
+use bao_common::json::{self, FromJson, Json, ToJson};
+use bao_common::Result;
 
 /// A binary tree of feature vectors, flattened to parallel arrays.
 ///
@@ -9,13 +10,35 @@ use serde::{Deserialize, Serialize};
 /// children (nulls are explicit nodes after binarization, paper Figure 3),
 /// but the network also tolerates one-sided nodes (missing child
 /// contributes a zero vector).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FeatTree {
     pub feat_dim: usize,
     /// `n_nodes * feat_dim` features, node-major.
     pub feats: Vec<f32>,
     pub left: Vec<i32>,
     pub right: Vec<i32>,
+}
+
+impl ToJson for FeatTree {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("feat_dim", self.feat_dim.to_json()),
+            ("feats", self.feats.to_json()),
+            ("left", self.left.to_json()),
+            ("right", self.right.to_json()),
+        ])
+    }
+}
+
+impl FromJson for FeatTree {
+    fn from_json(j: &Json) -> Result<FeatTree> {
+        Ok(FeatTree {
+            feat_dim: json::field(j, "feat_dim")?,
+            feats: json::field(j, "feats")?,
+            left: json::field(j, "left")?,
+            right: json::field(j, "right")?,
+        })
+    }
 }
 
 impl FeatTree {

@@ -13,8 +13,9 @@
 //! always dominated in this engine. Experiment binaries use `family_49`
 //! unless `--arms 48` is requested.
 
+use bao_common::json::{self, FromJson, Json, ToJson};
+use bao_common::Result;
 use bao_plan::{JoinAlgo, ScanKind};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// All join algorithms, in canonical order.
@@ -25,7 +26,7 @@ pub const ALL_SCANS: [ScanKind; 3] = [ScanKind::Seq, ScanKind::Index, ScanKind::
 
 /// A set of enabled operators. Disabled operators are *discouraged* (via
 /// `disable_cost`), not forbidden, mirroring PostgreSQL `enable_*` GUCs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct HintSet {
     pub hash_join: bool,
     pub merge_join: bool,
@@ -33,6 +34,32 @@ pub struct HintSet {
     pub seq_scan: bool,
     pub index_scan: bool,
     pub index_only_scan: bool,
+}
+
+impl ToJson for HintSet {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("hash_join", self.hash_join.to_json()),
+            ("merge_join", self.merge_join.to_json()),
+            ("nested_loop", self.nested_loop.to_json()),
+            ("seq_scan", self.seq_scan.to_json()),
+            ("index_scan", self.index_scan.to_json()),
+            ("index_only_scan", self.index_only_scan.to_json()),
+        ])
+    }
+}
+
+impl FromJson for HintSet {
+    fn from_json(j: &Json) -> Result<HintSet> {
+        Ok(HintSet {
+            hash_join: json::field(j, "hash_join")?,
+            merge_join: json::field(j, "merge_join")?,
+            nested_loop: json::field(j, "nested_loop")?,
+            seq_scan: json::field(j, "seq_scan")?,
+            index_scan: json::field(j, "index_scan")?,
+            index_only_scan: json::field(j, "index_only_scan")?,
+        })
+    }
 }
 
 impl Default for HintSet {

@@ -143,8 +143,8 @@ mod tests {
     use bao_common::rng_from_seed;
     use bao_plan::{JoinAlgo, OpKind};
     use bao_sql::parse_query;
+    use bao_common::Rng;
     use bao_storage::{ColumnDef, DataType, Schema, Table, Value};
-    use rand::Rng;
 
     /// A small star schema with a skewed fact table and correlated
     /// dimension attributes — enough to make the independence assumption
@@ -174,7 +174,7 @@ mod tests {
         );
         for i in 0..100_000i64 {
             // Zipf-ish: popular titles get most cast entries.
-            let m = (rng.gen::<f64>().powi(3) * 20_000.0) as i64;
+            let m = (rng.gen_f64().powi(3) * 20_000.0) as i64;
             ci.insert(vec![Value::Int(i), Value::Int(m.min(19_999)), Value::Int(i % 10)])
                 .unwrap();
         }

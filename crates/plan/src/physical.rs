@@ -5,11 +5,11 @@
 //! cumulative cost — the two numeric features of Figure 4's vectors.
 
 use crate::logical::{AggFunc, ColRef, JoinPred, Predicate};
-use serde::{Deserialize, Serialize};
+use bao_common::json::{Json, ToJson};
 use std::fmt;
 
 /// Scan strategies (the scan half of the hint-set space).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ScanKind {
     Seq,
     Index,
@@ -17,7 +17,7 @@ pub enum ScanKind {
 }
 
 /// Join algorithms (the join half of the hint-set space).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum JoinAlgo {
     NestedLoop,
     Hash,
@@ -26,7 +26,7 @@ pub enum JoinAlgo {
 
 /// A physical operator. Filters are folded into scans (as PostgreSQL does
 /// for single-relation quals); joins are strictly binary.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Operator {
     /// Full heap scan of `table` (FROM-list position), applying `preds`.
     SeqScan { table: usize, preds: Vec<Predicate> },
@@ -69,9 +69,61 @@ pub enum Operator {
     Aggregate { group_by: Vec<ColRef>, aggs: Vec<AggFunc> },
 }
 
+
+impl ToJson for Operator {
+    fn to_json(&self) -> Json {
+        match self {
+            Operator::SeqScan { table, preds } => Json::obj([(
+                "SeqScan",
+                Json::obj([("table", table.to_json()), ("preds", preds.to_json())]),
+            )]),
+            Operator::IndexScan { table, column, lo, hi, residual, param } => Json::obj([(
+                "IndexScan",
+                Json::obj([
+                    ("table", table.to_json()),
+                    ("column", column.to_json()),
+                    ("lo", lo.to_json()),
+                    ("hi", hi.to_json()),
+                    ("residual", residual.to_json()),
+                    ("param", param.to_json()),
+                ]),
+            )]),
+            Operator::IndexOnlyScan { table, column, lo, hi, param } => Json::obj([(
+                "IndexOnlyScan",
+                Json::obj([
+                    ("table", table.to_json()),
+                    ("column", column.to_json()),
+                    ("lo", lo.to_json()),
+                    ("hi", hi.to_json()),
+                    ("param", param.to_json()),
+                ]),
+            )]),
+            Operator::NestedLoopJoin { pred } => {
+                Json::obj([("NestedLoopJoin", Json::obj([("pred", pred.to_json())]))])
+            }
+            Operator::HashJoin { pred } => {
+                Json::obj([("HashJoin", Json::obj([("pred", pred.to_json())]))])
+            }
+            Operator::MergeJoin { pred } => {
+                Json::obj([("MergeJoin", Json::obj([("pred", pred.to_json())]))])
+            }
+            Operator::Filter { preds } => {
+                Json::obj([("Filter", Json::obj([("preds", preds.to_json())]))])
+            }
+            Operator::Sort { keys } => {
+                Json::obj([("Sort", Json::obj([("keys", keys.to_json())]))])
+            }
+            Operator::Aggregate { group_by, aggs } => Json::obj([(
+                "Aggregate",
+                Json::obj([("group_by", group_by.to_json()), ("aggs", aggs.to_json())]),
+            )]),
+        }
+    }
+}
+
 /// Operator kinds for one-hot featurization. `Null` is the padding child
 /// inserted by plan binarization (paper Figure 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpKind {
     Aggregate = 0,
     Sort = 1,
@@ -153,7 +205,7 @@ impl Operator {
 }
 
 /// A node in a physical plan tree, annotated with optimizer estimates.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlanNode {
     pub op: Operator,
     pub children: Vec<PlanNode>,
@@ -161,6 +213,18 @@ pub struct PlanNode {
     pub est_rows: f64,
     /// Optimizer's estimated cumulative cost (this node and its subtree).
     pub est_cost: f64,
+}
+
+
+impl ToJson for PlanNode {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("op", self.op.to_json()),
+            ("children", self.children.to_json()),
+            ("est_rows", self.est_rows.to_json()),
+            ("est_cost", self.est_cost.to_json()),
+        ])
+    }
 }
 
 impl PlanNode {

@@ -3,8 +3,8 @@
 use crate::tablestats::{analyze_table, TableStats};
 use bao_common::split_seed;
 use bao_plan::{CmpOp, Predicate};
+use bao_common::Rng;
 use bao_storage::{ColumnData, Database, Table};
-use rand::seq::index::sample as index_sample;
 use std::collections::HashMap;
 use std::sync::Mutex;
 
@@ -55,7 +55,7 @@ impl SampleTable {
             (0..rows).collect()
         } else {
             let mut rng = bao_common::rng_from_seed(seed);
-            index_sample(&mut rng, rows, take).into_vec()
+            rng.sample_indices(rows, take)
         };
         let mut columns = HashMap::new();
         for def in &table.schema.columns {

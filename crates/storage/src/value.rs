@@ -1,6 +1,7 @@
 //! Scalar values and data types.
 
-use serde::{Deserialize, Serialize};
+use bao_common::json::{FromJson, Json, ToJson};
+use bao_common::{BaoError, Result};
 use std::fmt;
 
 /// Column data types supported by the engine.
@@ -8,7 +9,7 @@ use std::fmt;
 /// The synthetic workloads join on integer keys and filter on integer,
 /// float, and dictionary-encoded text columns; NULLs are not modelled
 /// (none of the paper's experiments depend on them).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     Int,
     Float,
@@ -37,11 +38,36 @@ impl DataType {
 }
 
 /// A scalar value: query literals, generated cell values, executor rows.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     Int(i64),
     Float(f64),
     Str(String),
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Json {
+        // Externally tagged, so Int(3) and Float(3.0) stay distinct.
+        match self {
+            Value::Int(v) => Json::obj([("Int", v.to_json())]),
+            Value::Float(v) => Json::obj([("Float", v.to_json())]),
+            Value::Str(s) => Json::obj([("Str", s.to_json())]),
+        }
+    }
+}
+
+impl FromJson for Value {
+    fn from_json(j: &Json) -> Result<Value> {
+        if let Some(v) = j.get("Int") {
+            Ok(Value::Int(i64::from_json(v)?))
+        } else if let Some(v) = j.get("Float") {
+            Ok(Value::Float(f64::from_json(v)?))
+        } else if let Some(v) = j.get("Str") {
+            Ok(Value::Str(String::from_json(v)?))
+        } else {
+            Err(BaoError::Parse(format!("expected a Value variant, got {j:?}")))
+        }
+    }
 }
 
 impl Value {

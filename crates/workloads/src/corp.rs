@@ -7,8 +7,7 @@ use crate::{Event, Workload, WorkloadStep};
 use bao_common::{rng_from_seed, split_seed, Result};
 use bao_plan::{AggFunc, CmpOp, ColRef, JoinPred, Predicate, Query, SelectItem, TableRef};
 use bao_storage::{ColumnDef, Database, DataType, Schema, Table, Value};
-use rand::rngs::StdRng;
-use rand::Rng;
+use bao_common::{Rng, Xoshiro256};
 
 /// Corp workload configuration.
 #[derive(Debug, Clone, Copy)]
@@ -76,7 +75,7 @@ pub fn build_corp_database(scale: f64, seed: u64) -> Result<Database> {
         ]),
     );
     for i in 0..facts_n {
-        let u: f64 = rng.gen();
+        let u: f64 = rng.gen_f64();
         let k = ((u * u) * dims as f64) as i64; // skewed product mix
         let quarter = (i * N_QUARTERS / facts_n.max(1)).min(N_QUARTERS - 1);
         let ship = if rng.gen_bool(0.9) { quarter } else { (quarter + 1) % N_QUARTERS };
@@ -102,7 +101,7 @@ pub fn build_corp_database(scale: f64, seed: u64) -> Result<Database> {
         ]),
     );
     for _ in 0..(facts_n * 3) {
-        let u: f64 = rng.gen();
+        let u: f64 = rng.gen_f64();
         fact_detail.insert(vec![
             Value::Int(((u * u) * facts_n as f64) as i64),
             Value::Int(rng.gen_range(1..=100)),
@@ -224,7 +223,7 @@ fn join(l: (usize, &str), r: (usize, &str)) -> JoinPred {
 pub const N_TEMPLATES: usize = 5;
 
 /// Dashboard query against the *wide* schema.
-fn instantiate_pre(t: usize, rng: &mut StdRng) -> (String, Query) {
+fn instantiate_pre(t: usize, rng: &mut Xoshiro256) -> (String, Query) {
     let label = format!("corp/wide{t}");
     let q = match t {
         0 => Query {
@@ -297,7 +296,7 @@ fn instantiate_pre(t: usize, rng: &mut StdRng) -> (String, Query) {
 }
 
 /// The same dashboards against the *normalized* schema.
-fn instantiate_post(t: usize, rng: &mut StdRng) -> (String, Query) {
+fn instantiate_post(t: usize, rng: &mut Xoshiro256) -> (String, Query) {
     let label = format!("corp/norm{t}");
     let q = match t {
         0 => Query {

@@ -11,8 +11,7 @@ use crate::{Workload, WorkloadStep};
 use bao_common::{rng_from_seed, split_seed, Result};
 use bao_plan::{AggFunc, CmpOp, ColRef, JoinPred, Predicate, Query, SelectItem, TableRef};
 use bao_storage::{ColumnDef, Database, DataType, Schema, Table, Value};
-use rand::rngs::StdRng;
-use rand::Rng;
+use bao_common::{Rng, Xoshiro256};
 
 /// IMDb workload configuration.
 #[derive(Debug, Clone, Copy)]
@@ -41,8 +40,8 @@ fn n_titles(scale: f64) -> i64 {
 /// Zipf-ish rank sampler: concentrated on low ranks (quadratic inverse
 /// CDF — strong enough skew to break uniformity assumptions, bounded
 /// enough that multi-fact star joins stay tractable).
-fn zipf(rng: &mut StdRng, n: i64) -> i64 {
-    let u: f64 = rng.gen();
+fn zipf(rng: &mut Xoshiro256, n: i64) -> i64 {
+    let u: f64 = rng.gen_f64();
     ((u * u) * n as f64) as i64
 }
 
@@ -74,7 +73,7 @@ pub fn build_imdb_database(scale: f64, seed: u64) -> Result<Database> {
     for i in 0..titles {
         // Low id => recent: id 0 ~ 2019, id n ~ 1919 (sublinear decay).
         let age = ((i as f64 / titles as f64).powf(0.7) * 100.0) as i64;
-        let year = (2019 - age + rng.gen_range(-3..=3)).clamp(1900, 2019);
+        let year = (2019 - age + rng.gen_range(-3i64..=3)).clamp(1900, 2019);
         let kind: i64 = if year >= 2000 && rng.gen_bool(0.3) {
             3 // episode
         } else if year >= 1990 && rng.gen_bool(0.45) {
@@ -219,7 +218,7 @@ pub const N_TEMPLATES: usize = 15;
 
 /// Instantiate template `t` with template-specific random parameters.
 /// Returns `(label, query)`.
-pub fn instantiate_template(t: usize, scale: f64, rng: &mut StdRng) -> (String, Query) {
+pub fn instantiate_template(t: usize, scale: f64, rng: &mut Xoshiro256) -> (String, Query) {
     let titles = n_titles(scale);
     let _people = titles * 5 / 4;
     let companies = (titles / 40).max(20);

@@ -11,7 +11,8 @@ pub mod corp;
 pub mod imdb;
 pub mod stack;
 
-use bao_common::Result;
+use bao_common::json::{self, FromJson, Json, ToJson};
+use bao_common::{BaoError, Result};
 use bao_plan::Query;
 use bao_storage::Database;
 
@@ -20,7 +21,7 @@ pub use imdb::{build_imdb, ImdbConfig};
 pub use stack::{build_stack, StackConfig};
 
 /// A mid-workload environment change.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Event {
     /// Stack: load one more month of data (tables grow).
     LoadStackMonth { month: u32 },
@@ -28,8 +29,32 @@ pub enum Event {
     CorpNormalization,
 }
 
+impl ToJson for Event {
+    fn to_json(&self) -> Json {
+        match self {
+            Event::LoadStackMonth { month } => Json::obj([(
+                "LoadStackMonth",
+                Json::obj([("month", month.to_json())]),
+            )]),
+            Event::CorpNormalization => Json::Str("CorpNormalization".to_string()),
+        }
+    }
+}
+
+impl FromJson for Event {
+    fn from_json(j: &Json) -> Result<Event> {
+        if j.as_str() == Some("CorpNormalization") {
+            return Ok(Event::CorpNormalization);
+        }
+        if let Some(v) = j.get("LoadStackMonth") {
+            return Ok(Event::LoadStackMonth { month: json::field(v, "month")? });
+        }
+        Err(BaoError::Parse(format!("unknown Event {j:?}")))
+    }
+}
+
 /// One step of a workload: an optional environment event, then a query.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WorkloadStep {
     /// Template label (e.g. `"imdb/q07"` or `"JOB-16b"`).
     pub label: String,
@@ -38,8 +63,28 @@ pub struct WorkloadStep {
     pub event: Option<Event>,
 }
 
+impl ToJson for WorkloadStep {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("label", self.label.to_json()),
+            ("query", self.query.to_json()),
+            ("event", self.event.to_json()),
+        ])
+    }
+}
+
+impl FromJson for WorkloadStep {
+    fn from_json(j: &Json) -> Result<WorkloadStep> {
+        Ok(WorkloadStep {
+            label: json::field(j, "label")?,
+            query: json::field(j, "query")?,
+            event: json::field(j, "event")?,
+        })
+    }
+}
+
 /// An ordered query stream over a database.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Workload {
     pub name: String,
     pub steps: Vec<WorkloadStep>,
@@ -63,14 +108,15 @@ impl Workload {
     /// from the seed; exporting the stream lets external tooling replay
     /// exactly the queries an experiment ran).
     pub fn to_json(&self) -> Result<String> {
-        serde_json::to_string_pretty(self)
-            .map_err(|e| bao_common::BaoError::Config(format!("serialize workload: {e}")))
+        let j = Json::obj([("name", self.name.to_json()), ("steps", self.steps.to_json())]);
+        Ok(j.to_string_pretty())
     }
 
     /// Restore a workload exported with [`Workload::to_json`].
-    pub fn from_json(json: &str) -> Result<Workload> {
-        serde_json::from_str(json)
-            .map_err(|e| bao_common::BaoError::Config(format!("parse workload: {e}")))
+    pub fn from_json(text: &str) -> Result<Workload> {
+        let j = json::parse(text)
+            .map_err(|e| BaoError::Config(format!("parse workload: {e}")))?;
+        Ok(Workload { name: json::field(&j, "name")?, steps: json::field(&j, "steps")? })
     }
 }
 

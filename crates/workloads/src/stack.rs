@@ -6,8 +6,7 @@ use crate::{Event, Workload, WorkloadStep};
 use bao_common::{rng_from_seed, split_seed, BaoError, Result};
 use bao_plan::{AggFunc, CmpOp, ColRef, JoinPred, Predicate, Query, SelectItem, TableRef};
 use bao_storage::{ColumnDef, Database, DataType, Schema, Table, Value};
-use rand::rngs::StdRng;
-use rand::Rng;
+use bao_common::{Rng, Xoshiro256};
 
 /// Stack workload configuration.
 #[derive(Debug, Clone, Copy)]
@@ -36,8 +35,8 @@ fn questions_per_month(scale: f64) -> i64 {
     (2_500.0 * scale).max(100.0) as i64
 }
 
-fn zipf(rng: &mut StdRng, n: i64) -> i64 {
-    let u: f64 = rng.gen();
+fn zipf(rng: &mut Xoshiro256, n: i64) -> i64 {
+    let u: f64 = rng.gen_f64();
     ((u * u) * n as f64) as i64
 }
 
@@ -70,8 +69,8 @@ pub fn load_month(db: &mut Database, month: u32, seed: u64) -> Result<()> {
         } else {
             0
         };
-        let score = rng.gen_range(0..=5) + age_bonus + pop_bonus;
-        let views = score * 120 + rng.gen_range(0..=200);
+        let score = rng.gen_range(0i64..=5) + age_bonus + pop_bonus;
+        let views = score * 120 + rng.gen_range(0i64..=200);
         questions.push(vec![
             Value::Int(qid),
             Value::Int(site),
@@ -132,7 +131,7 @@ pub fn build_stack_database(cfg: &StackConfig) -> Result<Database> {
     for i in 0..users_n {
         // Reputation is Zipf-like: low-id (old) users hold most of it.
         let rep = ((users_n - i) as f64 / users_n as f64 * 100_000.0
-            * rng.gen::<f64>().powi(2)) as i64;
+            * rng.gen_f64().powi(2)) as i64;
         users.insert(vec![
             Value::Int(i),
             Value::Int(rep),
@@ -202,7 +201,7 @@ fn join(l: (usize, &str), r: (usize, &str)) -> JoinPred {
     JoinPred::new(ColRef::new(l.0, l.1), ColRef::new(r.0, r.1))
 }
 
-fn instantiate(t: usize, cfg: &StackConfig, loaded_months: u32, rng: &mut StdRng) -> (String, Query) {
+fn instantiate(t: usize, cfg: &StackConfig, loaded_months: u32, rng: &mut Xoshiro256) -> (String, Query) {
     let users = n_users(cfg.scale);
     let label = format!("stack/q{t:02}");
     let count = vec![SelectItem::Agg(AggFunc::CountStar)];

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Hermeticity gate: the workspace must build and test with no access to
+# crates.io — every dependency is a local `path` crate. Run from anywhere;
+# operates on the repo containing this script.
+#
+# Checks, in order:
+#   1. No Cargo.toml names a non-path dependency (version/git/registry).
+#   2. `cargo build --release --offline` succeeds with an empty CARGO_HOME
+#      (so nothing can be satisfied from a warm registry cache).
+#   3. `cargo test -q --offline` passes under the same conditions.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+# --- 1. Static manifest scan ------------------------------------------------
+# In dependency tables, every entry must be `{ path = ... }` or
+# `{ workspace = true }` resolving to one. Flag version strings, git, or
+# registry sources in any crate manifest or the workspace dependency table.
+fail=0
+for manifest in Cargo.toml crates/*/Cargo.toml; do
+    # Extract dependency sections and drop table headers / blank lines.
+    deps=$(awk '
+        /^\[/ { in_deps = ($0 ~ /^\[(workspace\.)?(dev-|build-)?dependencies\]/) ; next }
+        in_deps && NF { print }
+    ' "$manifest")
+    bad=$(printf '%s\n' "$deps" | grep -E 'version *=|git *=|registry *=' || true)
+    if [ -n "$bad" ]; then
+        echo "ERROR: non-path dependency in $manifest:" >&2
+        printf '%s\n' "$bad" >&2
+        fail=1
+    fi
+    # Any dependency line must mention path= or workspace=true.
+    loose=$(printf '%s\n' "$deps" | grep -vE 'path *=|workspace *= *true' || true)
+    if [ -n "$loose" ]; then
+        echo "ERROR: dependency without a path source in $manifest:" >&2
+        printf '%s\n' "$loose" >&2
+        fail=1
+    fi
+done
+[ "$fail" -eq 0 ] || exit 1
+echo "manifest scan: all dependencies are path-only"
+
+# --- 2 & 3. Offline build + test against an empty registry -------------------
+tmp_home="$(mktemp -d)"
+trap 'rm -rf "$tmp_home"' EXIT
+export CARGO_HOME="$tmp_home"
+
+echo "building (release, offline, empty CARGO_HOME)..."
+cargo build --release --offline
+
+echo "testing (offline)..."
+cargo test -q --offline
+
+echo "hermetic check passed"
