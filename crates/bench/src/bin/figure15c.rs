@@ -57,6 +57,8 @@ fn main() {
             TcnnConfig::small(featurizer.input_dim()),
             TrainConfig::default(),
         );
+        // This figure reports real wall training time by design; it never
+        // feeds back into plan choice. bao-lint: allow(no-wall-clock)
         let started = std::time::Instant::now();
         model.fit(&trees[..k], &ys[..k], seed);
         let wall = started.elapsed().as_secs_f64();

@@ -71,7 +71,10 @@ impl Bao {
         let predicted_default_ms = selection.predictions[0].unwrap_or(f64::NAN);
         let predicted_recommended_ms =
             selection.predictions[selection.arm].unwrap_or(f64::NAN);
-        let (default_plan, _) = pairs.into_iter().next().expect("arm 0 planned");
+        let (default_plan, _) = pairs
+            .into_iter()
+            .next()
+            .ok_or_else(|| BaoError::Planning("no arms were planned".into()))?;
         Ok(Advice {
             predicted_default_ms,
             recommended_arm: selection.arm,

@@ -176,6 +176,8 @@ impl Bao {
             let out = opt.plan(query, db, cat, self.cfg.arms[0])?;
             let mut root = out.root;
             bao_opt::annotate_estimates(&mut root, query, db, cat, opt.estimator(), &opt.params)?;
+            #[cfg(debug_assertions)]
+            bao_plan::verify::verify(&root, query, db)?;
             let tree = self.featurizer.featurize(&root, query, db, pool);
             return Ok(Selection {
                 arm: 0,
@@ -216,7 +218,13 @@ impl Bao {
                     .iter()
                     .map(|&arm| scope.spawn(move || opt.plan(query, db, cat, arm)))
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("planner thread")).collect()
+                handles
+                    .into_iter()
+                    // A panicking planner thread carries a real bug's
+                    // panic payload; re-raising it here is the correct
+                    // propagation. bao-lint: allow(no-panic-path)
+                    .map(|h| h.join().expect("planner thread"))
+                    .collect()
             });
             results.into_iter().collect::<Result<Vec<_>>>()?
         } else {
@@ -236,6 +244,10 @@ impl Bao {
         for o in outputs {
             let mut root = o.root;
             bao_opt::annotate_estimates(&mut root, query, db, cat, opt.estimator(), &opt.params)?;
+            // Re-annotation must preserve well-formedness; arms whose
+            // features would be malformed are a training-data hazard.
+            #[cfg(debug_assertions)]
+            bao_plan::verify::verify(&root, query, db)?;
             let tree = self.featurizer.featurize(&root, query, db, pool);
             pairs.push((root, tree));
         }
@@ -245,7 +257,7 @@ impl Bao {
             .iter()
             .enumerate()
             .filter_map(|(i, p)| p.map(|v| (i, v)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite predictions"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(i, _)| i)
             .unwrap_or(0);
         let (plan, tree) = pairs[best].clone();
@@ -292,6 +304,8 @@ impl Bao {
 
     /// Immediately resample the model from the current experience.
     pub fn retrain_now(&mut self) -> RetrainReport {
+        // Training telemetry only: the duration is reported, never fed
+        // back into plan choice. bao-lint: allow(no-wall-clock)
         let started = std::time::Instant::now();
         self.since_retrain = 0;
         self.retrains += 1;

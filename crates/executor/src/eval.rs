@@ -40,6 +40,8 @@ pub fn compile_preds<'a>(table: &'a Table, preds: &[Predicate]) -> Result<Vec<Co
 pub fn cell_key(col: &ColumnData, row: u32) -> f64 {
     match col {
         ColumnData::Float(v) => v[row as usize],
+        // Int/Text columns always carry keys; `key_at` is None only for
+        // Float, handled by the arm above. bao-lint: allow(no-panic-path)
         keyed => keyed.key_at(row as usize).expect("keyed column") as f64,
     }
 }

@@ -33,6 +33,12 @@ pub fn execute(
     params: &CostParams,
     rates: &ChargeRates,
 ) -> Result<ExecutionMetrics> {
+    // Debug builds (and therefore every test run) re-verify the plan at
+    // the execution boundary, catching trees corrupted between planning
+    // and execution (e.g. by featurization experiments).
+    #[cfg(debug_assertions)]
+    bao_plan::verify::verify(plan, query, db)?;
+
     let stored: Vec<&StoredTable> = query
         .tables
         .iter()

@@ -1,0 +1,183 @@
+//! The `hermetic-manifest` rule: every dependency in every workspace
+//! manifest must resolve to a local `path` crate.
+//!
+//! This ports the static scan half of `scripts/check_hermetic.sh` (PR 1)
+//! into the lint binary so one tool owns all static checks: inside any
+//! dependency table, an entry must carry `path = ...` or
+//! `workspace = true`, and must not name a `version`, `git`, or
+//! `registry` source. The scan is a purpose-built TOML-subset reader —
+//! section headers, `key = value` lines, and `[dependencies.name]`
+//! subsections — which covers every manifest shape this workspace uses.
+
+use crate::rules::RuleId;
+use crate::Diagnostic;
+
+/// Is this `[section]` header a dependency table (or a
+/// `[dependencies.foo]`-style subsection of one)?
+fn dep_section(name: &str) -> bool {
+    for base in ["dependencies", "dev-dependencies", "build-dependencies"] {
+        let with_ws = format!("workspace.{base}");
+        if name == base
+            || name == with_ws
+            || name.starts_with(&format!("{base}."))
+            || name.starts_with(&format!("{with_ws}."))
+        {
+            return true;
+        }
+        // target.'cfg(..)'.dependencies and friends
+        if name.starts_with("target.") && name.contains(&format!(".{base}")) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Strip a trailing `# comment` (quote-aware enough for manifests: none of
+/// ours embed `#` in strings).
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Scan one manifest's text. `path` is workspace-relative, used in
+/// diagnostics.
+pub fn check_manifest(path: &str, text: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut in_deps = false;
+    // Inside `[dependencies.foo]`: keys accumulate; judge at section end.
+    let mut subsection: Option<(usize, bool, bool)> = None; // (line, has_path_or_ws, has_remote)
+
+    let flush_subsection =
+        |sub: &mut Option<(usize, bool, bool)>, out: &mut Vec<Diagnostic>| {
+            if let Some((line, ok, remote)) = sub.take() {
+                if remote || !ok {
+                    out.push(Diagnostic {
+                        rule: RuleId::HermeticManifest,
+                        path: path.to_string(),
+                        line,
+                        message: "dependency subsection without a local path source".into(),
+                    });
+                }
+            }
+        };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') && line.ends_with(']') {
+            flush_subsection(&mut subsection, &mut out);
+            let name = line.trim_matches(['[', ']']).trim();
+            if dep_section(name) {
+                if name.split('.').next_back() != Some("dependencies")
+                    && name.split('.').next_back() != Some("dev-dependencies")
+                    && name.split('.').next_back() != Some("build-dependencies")
+                {
+                    // `[dependencies.foo]` — a single dependency spelled
+                    // as its own table.
+                    subsection = Some((line_no, false, false));
+                    in_deps = false;
+                } else {
+                    in_deps = true;
+                }
+            } else {
+                in_deps = false;
+            }
+            continue;
+        }
+        let has = |key: &str| {
+            line.split([',', '{', '}'])
+                .any(|part| part.trim_start().starts_with(key))
+        };
+        let names_remote = has("version") || has("git ") || has("git=") || has("registry");
+        let names_local = has("path") || line.replace(' ', "").contains("workspace=true");
+        if let Some((_, ok, remote)) = &mut subsection {
+            *ok |= names_local;
+            *remote |= names_remote;
+            continue;
+        }
+        if !in_deps {
+            continue;
+        }
+        if names_remote {
+            out.push(Diagnostic {
+                rule: RuleId::HermeticManifest,
+                path: path.to_string(),
+                line: line_no,
+                message: format!("non-path dependency source: `{line}`"),
+            });
+        } else if !names_local {
+            out.push(Diagnostic {
+                rule: RuleId::HermeticManifest,
+                path: path.to_string(),
+                line: line_no,
+                message: format!("dependency without a path source: `{line}`"),
+            });
+        }
+    }
+    flush_subsection(&mut subsection, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_manifest_passes() {
+        let text = "\
+[package]
+name = \"x\"
+version = \"0.1.0\"
+
+[dependencies]
+bao-common = { workspace = true }
+bao-plan = { path = \"../plan\" }
+
+[dev-dependencies]
+";
+        assert!(check_manifest("crates/x/Cargo.toml", text).is_empty());
+    }
+
+    #[test]
+    fn version_git_and_bare_deps_flagged() {
+        let text = "\
+[dependencies]
+serde = \"1.0\"
+rand = { version = \"0.8\" }
+foo = { git = \"https://example.com/foo\" }
+bao-common = { workspace = true }
+";
+        let d = check_manifest("Cargo.toml", text);
+        let lines: Vec<usize> = d.iter().map(|x| x.line).collect();
+        assert_eq!(lines, vec![2, 3, 4], "{d:?}");
+    }
+
+    #[test]
+    fn package_version_is_not_a_dependency() {
+        let text = "[package]\nversion = \"0.1.0\"\n[dependencies]\n";
+        assert!(check_manifest("Cargo.toml", text).is_empty());
+    }
+
+    #[test]
+    fn dependency_subsection_forms() {
+        let good = "[dependencies.bao-plan]\npath = \"../plan\"\n";
+        assert!(check_manifest("Cargo.toml", good).is_empty());
+        let bad = "[dependencies.serde]\nversion = \"1.0\"\nfeatures = [\"derive\"]\n";
+        let d = check_manifest("Cargo.toml", bad);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn workspace_dependency_table_scanned() {
+        let text = "[workspace.dependencies]\nbao-x = { path = \"crates/x\" }\nserde = \"1\"\n";
+        let d = check_manifest("Cargo.toml", text);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 3);
+    }
+}

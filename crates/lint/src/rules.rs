@@ -1,0 +1,267 @@
+//! The lint rules: project invariants the Bao workspace must uphold.
+//!
+//! Each rule enforces a property the bandit loop silently depends on:
+//!
+//! * `no-wall-clock` — plan choice and training data must never depend on
+//!   wall time; `Instant::now` / `SystemTime` are confined to
+//!   `bao_bench::timing` and explicitly annotated telemetry sites.
+//! * `no-hash-iter-order` — `HashMap`/`HashSet` iteration order is
+//!   nondeterministic across builds; in the crates whose data flows into
+//!   plan shape, arm ordering, or feature vectors (`plan`, `optimizer`,
+//!   `models`, `nn`) ordered containers (`BTreeMap`/`BTreeSet`) or an
+//!   annotation are required.
+//! * `no-unsafe` — `unsafe` is denied outside the one audited site in
+//!   `bao_common::json`.
+//! * `no-panic-path` — `unwrap()` / `expect(` / `panic!` are denied in the
+//!   non-test query path (`core`, `optimizer`, `executor`, `plan`).
+//! * `hermetic-manifest` — every manifest dependency must be a local
+//!   `path` crate (see [`crate::manifest`]).
+//!
+//! Any finding can be waived in place with `// bao-lint: allow(<rule>)`
+//! on the offending line or the line above, or file-wide with
+//! `// bao-lint: allow-file(<rule>)`.
+
+use crate::scan::{mask, MaskedSource};
+use crate::Diagnostic;
+
+/// Identifiers of every lint rule, in canonical (report) order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    NoWallClock,
+    NoHashIterOrder,
+    NoUnsafe,
+    NoPanicPath,
+    HermeticManifest,
+}
+
+impl RuleId {
+    pub const ALL: [RuleId; 5] = [
+        RuleId::NoWallClock,
+        RuleId::NoHashIterOrder,
+        RuleId::NoUnsafe,
+        RuleId::NoPanicPath,
+        RuleId::HermeticManifest,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::NoWallClock => "no-wall-clock",
+            RuleId::NoHashIterOrder => "no-hash-iter-order",
+            RuleId::NoUnsafe => "no-unsafe",
+            RuleId::NoPanicPath => "no-panic-path",
+            RuleId::HermeticManifest => "hermetic-manifest",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<RuleId> {
+        RuleId::ALL.into_iter().find(|r| r.name() == s)
+    }
+
+    /// One-line description shown by `bao-lint --list-rules`.
+    pub fn describe(self) -> &'static str {
+        match self {
+            RuleId::NoWallClock => {
+                "Instant::now/SystemTime outside bao_bench::timing (determinism)"
+            }
+            RuleId::NoHashIterOrder => {
+                "HashMap/HashSet in plan/optimizer/models/nn (iteration order)"
+            }
+            RuleId::NoUnsafe => "unsafe outside the audited bao_common::json site",
+            RuleId::NoPanicPath => {
+                "unwrap()/expect()/panic! on the non-test query path"
+            }
+            RuleId::HermeticManifest => "non-path dependency in a Cargo.toml",
+        }
+    }
+}
+
+/// Crates whose iteration order can leak into plan shape, arm ordering,
+/// or feature vectors.
+const ORDER_SENSITIVE_CRATES: [&str; 4] =
+    ["crates/plan/", "crates/optimizer/", "crates/models/", "crates/nn/"];
+
+/// Crates forming the query path for `no-panic-path`.
+const QUERY_PATH_CRATES: [&str; 4] =
+    ["crates/core/", "crates/optimizer/", "crates/executor/", "crates/plan/"];
+
+/// The one module allowed to read the wall clock: the timing harness.
+const WALL_CLOCK_ALLOWED: &str = "crates/bench/src/timing.rs";
+
+/// The one audited `unsafe` site.
+const UNSAFE_ALLOWED: &str = "crates/common/src/json.rs";
+
+fn in_any(path: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| path.starts_with(p))
+}
+
+/// Does the source-file rule `rule` apply to `path` (workspace-relative,
+/// `/`-separated) at all?
+pub fn applies_to(rule: RuleId, path: &str) -> bool {
+    match rule {
+        RuleId::NoWallClock => path != WALL_CLOCK_ALLOWED,
+        RuleId::NoHashIterOrder => in_any(path, &ORDER_SENSITIVE_CRATES),
+        RuleId::NoUnsafe => path != UNSAFE_ALLOWED,
+        RuleId::NoPanicPath => in_any(path, &QUERY_PATH_CRATES),
+        RuleId::HermeticManifest => false, // manifest rule, not a source rule
+    }
+}
+
+/// Does `rule` skip lines inside `#[cfg(test)]` / `#[test]` regions?
+fn skips_test_code(rule: RuleId) -> bool {
+    matches!(rule, RuleId::NoPanicPath | RuleId::NoHashIterOrder)
+}
+
+/// Is the whole file test code (an integration-test target or a bench
+/// example), outside any crate's shipped library?
+fn is_test_file(path: &str) -> bool {
+    path.contains("/tests/")
+}
+
+/// The token patterns one rule hunts for.
+fn patterns(rule: RuleId) -> &'static [Pattern] {
+    match rule {
+        RuleId::NoWallClock => &[
+            Pattern { needle: "Instant::now", word: true },
+            Pattern { needle: "SystemTime", word: true },
+        ],
+        RuleId::NoHashIterOrder => &[
+            Pattern { needle: "HashMap", word: true },
+            Pattern { needle: "HashSet", word: true },
+        ],
+        RuleId::NoUnsafe => &[Pattern { needle: "unsafe", word: true }],
+        RuleId::NoPanicPath => &[
+            Pattern { needle: ".unwrap()", word: false },
+            Pattern { needle: ".expect(", word: false },
+            Pattern { needle: "panic!", word: true },
+        ],
+        RuleId::HermeticManifest => &[],
+    }
+}
+
+/// A literal token to search for in masked code.
+struct Pattern {
+    needle: &'static str,
+    /// Require identifier boundaries around the match.
+    word: bool,
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// All match positions of `p` in `line`, honouring word boundaries.
+fn find_matches(line: &str, p: &Pattern) -> bool {
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(p.needle) {
+        let at = from + pos;
+        if !p.word {
+            return true;
+        }
+        let before_ok = at == 0 || !is_ident(line[..at].chars().next_back().unwrap_or(' '));
+        let after = line[at + p.needle.len()..].chars().next();
+        let after_ok = !after.is_some_and(is_ident);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + p.needle.len();
+    }
+    false
+}
+
+/// Lint one already-masked source file against the source rules in
+/// `rules`. `path` must be workspace-relative with `/` separators; rule
+/// scoping (which crates a rule covers) is applied here.
+pub fn check_masked(
+    path: &str,
+    masked: &MaskedSource,
+    rules: &[RuleId],
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for &rule in rules {
+        if !applies_to(rule, path) {
+            continue;
+        }
+        let skip_tests = skips_test_code(rule);
+        if skip_tests && is_test_file(path) {
+            continue;
+        }
+        for (idx, line) in masked.lines.iter().enumerate() {
+            let line_no = idx + 1;
+            if skip_tests && masked.is_test_line(line_no) {
+                continue;
+            }
+            for p in patterns(rule) {
+                if find_matches(line, p) {
+                    if masked.is_allowed(rule.name(), line_no) {
+                        continue;
+                    }
+                    out.push(Diagnostic {
+                        rule,
+                        path: path.to_string(),
+                        line: line_no,
+                        message: format!("`{}` is forbidden here", p.needle.trim_matches('.')),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Lint one source file (masking included). Entry point for tests and the
+/// workspace walker.
+pub fn check_source(path: &str, src: &str, rules: &[RuleId]) -> Vec<Diagnostic> {
+    check_masked(path, &mask(src), rules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_names_round_trip() {
+        for r in RuleId::ALL {
+            assert_eq!(RuleId::parse(r.name()), Some(r));
+        }
+        assert_eq!(RuleId::parse("no-such-rule"), None);
+    }
+
+    #[test]
+    fn scoping_matches_spec() {
+        assert!(applies_to(RuleId::NoPanicPath, "crates/executor/src/exec.rs"));
+        assert!(!applies_to(RuleId::NoPanicPath, "crates/bench/src/cli.rs"));
+        assert!(applies_to(RuleId::NoHashIterOrder, "crates/nn/src/net.rs"));
+        assert!(!applies_to(RuleId::NoHashIterOrder, "crates/executor/src/exec.rs"));
+        assert!(!applies_to(RuleId::NoWallClock, "crates/bench/src/timing.rs"));
+        assert!(applies_to(RuleId::NoWallClock, "crates/core/src/bao.rs"));
+        assert!(!applies_to(RuleId::NoUnsafe, "crates/common/src/json.rs"));
+    }
+
+    #[test]
+    fn word_boundaries_respected() {
+        // `MyHashMap` and `HashMapLike` are not the std type.
+        let d = check_source(
+            "crates/plan/src/x.rs",
+            "type A = MyHashMap; struct HashMapLike;\n",
+            &[RuleId::NoHashIterOrder],
+        );
+        assert!(d.is_empty(), "{d:?}");
+        let d = check_source(
+            "crates/plan/src/x.rs",
+            "use std::collections::HashMap;\n",
+            &[RuleId::NoHashIterOrder],
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        let d = check_source(
+            "crates/core/src/x.rs",
+            "let v = o.unwrap_or(3); let w = o.unwrap_or_else(f);\n",
+            &[RuleId::NoPanicPath],
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -1,0 +1,435 @@
+//! A lightweight Rust source scanner.
+//!
+//! The lint rules only need to know three things about a file: which bytes
+//! are *code* (as opposed to comment, string, or char-literal content),
+//! which lines sit inside test-only regions (`#[cfg(test)]` modules and
+//! `#[test]` functions), and which `// bao-lint: allow(...)` pragmas are
+//! present. This module computes all three in one pass, without a full
+//! parser: comments and literal *contents* are blanked out with spaces
+//! (preserving line structure and column positions), pragmas are harvested
+//! from comment text, and test regions are found by brace matching after a
+//! test attribute.
+
+use std::collections::BTreeSet;
+
+/// A source file reduced to lint-relevant structure.
+#[derive(Debug)]
+pub struct MaskedSource {
+    /// Source lines with comment and literal contents replaced by spaces.
+    /// Delimiters (`"`, `//`, ...) are blanked too; only code survives.
+    pub lines: Vec<String>,
+    /// `(line, rule)` pairs from `bao-lint: allow(rule, ...)` pragmas
+    /// (1-based line of the pragma comment itself).
+    pub allows: Vec<(usize, String)>,
+    /// Rules allowed for the whole file via `bao-lint: allow-file(rule)`.
+    pub file_allows: BTreeSet<String>,
+    /// `true` for every (1-based) line inside a test-only region.
+    test_lines: Vec<bool>,
+}
+
+impl MaskedSource {
+    /// Is 1-based `line` inside a `#[cfg(test)]` module or `#[test]` fn?
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.test_lines.get(line - 1).copied().unwrap_or(false)
+    }
+
+    /// Is a diagnostic for `rule` at 1-based `line` suppressed by a
+    /// pragma? Pragmas apply to their own line and to the line below
+    /// (so both trailing and preceding-line annotations work).
+    pub fn is_allowed(&self, rule: &str, line: usize) -> bool {
+        self.file_allows.contains(rule)
+            || self
+                .allows
+                .iter()
+                .any(|(l, r)| r == rule && (*l == line || *l + 1 == line))
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str { raw_hashes: Option<u32> },
+    Char,
+}
+
+/// Scan `src` into a [`MaskedSource`].
+pub fn mask(src: &str) -> MaskedSource {
+    let chars: Vec<char> = src.chars().collect();
+    let mut masked: Vec<char> = Vec::with_capacity(chars.len());
+    // Comment text of the comment currently being scanned, for pragmas.
+    let mut comment_buf = String::new();
+    let mut comment_start_line = 1usize;
+    let mut allows: Vec<(usize, String)> = Vec::new();
+    let mut file_allows: BTreeSet<String> = BTreeSet::new();
+
+    let mut state = State::Code;
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    macro_rules! finish_comment {
+        () => {{
+            harvest_pragmas(&comment_buf, comment_start_line, &mut allows, &mut file_allows);
+            comment_buf.clear();
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match state {
+            State::Code => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    comment_start_line = line;
+                    masked.push(' ');
+                    masked.push(' ');
+                    i += 2;
+                    continue;
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    comment_start_line = line;
+                    masked.push(' ');
+                    masked.push(' ');
+                    i += 2;
+                    continue;
+                }
+                '"' => {
+                    state = State::Str { raw_hashes: None };
+                    masked.push(' ');
+                }
+                'r' | 'b' if is_raw_string_start(&chars, i) => {
+                    // r"...", r#"..."#, br"...", b"..." — skip the prefix
+                    // and count hashes.
+                    let mut j = i;
+                    let mut saw_r = false;
+                    while chars.get(j) == Some(&'b') || chars.get(j) == Some(&'r') {
+                        saw_r |= chars[j] == 'r';
+                        masked.push(' ');
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while chars.get(j) == Some(&'#') {
+                        masked.push(' ');
+                        hashes += 1;
+                        j += 1;
+                    }
+                    // chars[j] is the opening quote. Raw strings (`r`
+                    // prefix) take no escapes; plain `b"..."` does.
+                    masked.push(' ');
+                    i = j + 1;
+                    state = State::Str {
+                        raw_hashes: if saw_r { Some(hashes) } else { None },
+                    };
+                    continue;
+                }
+                '\'' => {
+                    // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                    let is_char_lit = match next {
+                        Some('\\') => true,
+                        Some(n) if n != '\'' && (n.is_alphanumeric() || n == '_') => {
+                            chars.get(i + 2) == Some(&'\'')
+                        }
+                        Some(_) => true,
+                        None => false,
+                    };
+                    if is_char_lit {
+                        state = State::Char;
+                        masked.push(' ');
+                    } else {
+                        masked.push(c); // lifetime tick: keep as code
+                    }
+                }
+                _ => masked.push(c),
+            },
+            State::LineComment => {
+                if c == '\n' {
+                    finish_comment!();
+                    state = State::Code;
+                    masked.push('\n');
+                } else {
+                    comment_buf.push(c);
+                    masked.push(' ');
+                }
+            }
+            State::BlockComment(depth) => {
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    comment_buf.push_str("/*");
+                    masked.push(' ');
+                    masked.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == '*' && next == Some('/') {
+                    if depth == 1 {
+                        finish_comment!();
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment(depth - 1);
+                        comment_buf.push_str("*/");
+                    }
+                    masked.push(' ');
+                    masked.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == '\n' {
+                    comment_buf.push('\n');
+                    masked.push('\n');
+                } else {
+                    comment_buf.push(c);
+                    masked.push(' ');
+                }
+            }
+            State::Str { raw_hashes } => match raw_hashes {
+                None => {
+                    if c == '\\' {
+                        masked.push(' ');
+                        if next.is_some() && next != Some('\n') {
+                            masked.push(' ');
+                            i += 2;
+                            continue;
+                        }
+                    } else if c == '"' {
+                        state = State::Code;
+                        masked.push(' ');
+                    } else if c == '\n' {
+                        masked.push('\n');
+                    } else {
+                        masked.push(' ');
+                    }
+                }
+                Some(h) => {
+                    if c == '"' && closes_raw_string(&chars, i, h) {
+                        for _ in 0..=h {
+                            masked.push(' ');
+                        }
+                        i += 1 + h as usize;
+                        state = State::Code;
+                        continue;
+                    }
+                    masked.push(if c == '\n' { '\n' } else { ' ' });
+                }
+            },
+            State::Char => {
+                if c == '\\' && next.is_some() {
+                    masked.push(' ');
+                    masked.push(' ');
+                    i += 2;
+                    continue;
+                }
+                masked.push(if c == '\n' { '\n' } else { ' ' });
+                if c == '\'' || c == '\n' {
+                    state = State::Code;
+                }
+            }
+        }
+        if c == '\n' {
+            line += 1;
+        }
+        i += 1;
+    }
+    if matches!(state, State::LineComment | State::BlockComment(_)) {
+        harvest_pragmas(&comment_buf, comment_start_line, &mut allows, &mut file_allows);
+    }
+
+    let masked_str: String = masked.into_iter().collect();
+    let lines: Vec<String> = masked_str.split('\n').map(|l| l.to_string()).collect();
+    let test_lines = find_test_lines(&lines);
+    MaskedSource { lines, allows, file_allows, test_lines }
+}
+
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    // Accept r"..."/r#"..."#/br"..."/b"..."/rb is not valid Rust; keep to
+    // the real prefixes. Must not swallow plain identifiers ending in r/b.
+    if i > 0 {
+        let p = chars[i - 1];
+        if p.is_alphanumeric() || p == '_' {
+            return false;
+        }
+    }
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) == Some(&'r') {
+        j += 1;
+    } else if j == i {
+        return false; // bare 'r' required unless b"..."
+    }
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"') && (chars.get(i) == Some(&'b') || chars.get(i) == Some(&'r'))
+}
+
+fn closes_raw_string(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Extract `bao-lint: allow(rule, ...)` / `allow-file(rule, ...)` pragmas
+/// from one comment's text. `start_line` is the comment's first line;
+/// pragmas on later lines of a block comment get their true line.
+fn harvest_pragmas(
+    text: &str,
+    start_line: usize,
+    allows: &mut Vec<(usize, String)>,
+    file_allows: &mut BTreeSet<String>,
+) {
+    for (off, comment_line) in text.split('\n').enumerate() {
+        let line_no = start_line + off;
+        let mut rest = comment_line;
+        while let Some(pos) = rest.find("bao-lint:") {
+            rest = &rest[pos + "bao-lint:".len()..];
+            let trimmed = rest.trim_start();
+            for (kw, to_file) in [("allow-file(", true), ("allow(", false)] {
+                if let Some(arg) = trimmed.strip_prefix(kw) {
+                    if let Some(end) = arg.find(')') {
+                        for rule in arg[..end].split(',') {
+                            let rule = rule.trim().to_string();
+                            if rule.is_empty() {
+                                continue;
+                            }
+                            if to_file {
+                                file_allows.insert(rule);
+                            } else {
+                                allows.push((line_no, rule));
+                            }
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Mark every line inside a `#[cfg(test)]` or `#[test]` item's braces.
+fn find_test_lines(masked_lines: &[String]) -> Vec<bool> {
+    let mut test = vec![false; masked_lines.len()];
+    let mut depth: i64 = 0;
+    // Depth at which each active test region started; regions can nest.
+    let mut region_starts: Vec<i64> = Vec::new();
+    let mut pending_attr = false;
+
+    for (li, line) in masked_lines.iter().enumerate() {
+        // A line closing a region (its `}`) is still part of it.
+        let active_at_start = !region_starts.is_empty();
+        let compact: String = line.split_whitespace().collect();
+        if compact.contains("#[cfg(test)]") || compact.contains("#[test]") {
+            pending_attr = true;
+        }
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    if pending_attr {
+                        region_starts.push(depth);
+                        pending_attr = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if region_starts.last().is_some_and(|s| depth <= *s) {
+                        region_starts.pop();
+                    }
+                }
+                ';' => {
+                    // An attribute followed by a brace-less item
+                    // (e.g. `#[cfg(test)] use ...;`) opens no region.
+                    if pending_attr && region_starts.is_empty() {
+                        pending_attr = false;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if active_at_start || !region_starts.is_empty() || pending_attr {
+            test[li] = true;
+        }
+    }
+    test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_strings_and_comments() {
+        let src = "let x = \"unwrap()\"; // HashMap here\nlet y = 1;\n";
+        let m = mask(src);
+        assert!(!m.lines[0].contains("unwrap"));
+        assert!(!m.lines[0].contains("HashMap"));
+        assert!(m.lines[0].contains("let x ="));
+        assert_eq!(m.lines[1], "let y = 1;");
+    }
+
+    #[test]
+    fn masks_raw_and_escaped_strings() {
+        let src = "let a = r#\"x \"quoted\" unsafe\"#;\nlet b = \"esc \\\" unsafe\";\nunsafe {}\n";
+        let m = mask(src);
+        assert!(!m.lines[0].contains("unsafe"));
+        assert!(!m.lines[1].contains("unsafe"));
+        assert!(m.lines[2].contains("unsafe"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }\nlet q = '\"'; let u = \"unsafe\";\n";
+        let m = mask(src);
+        // lifetime survives as code, char content blanked
+        assert!(m.lines[0].contains("<'a>"));
+        assert!(!m.lines[0].contains("'x'"));
+        // the char-literal quote must not open a string
+        assert!(!m.lines[1].contains("unsafe"));
+    }
+
+    #[test]
+    fn block_comments_nest() {
+        let src = "/* outer /* inner */ still comment unsafe */ let ok = 1;\n";
+        let m = mask(src);
+        assert!(!m.lines[0].contains("unsafe"));
+        assert!(m.lines[0].contains("let ok = 1;"));
+    }
+
+    #[test]
+    fn pragmas_are_harvested_with_lines() {
+        let src = "let a = 1; // bao-lint: allow(no-panic-path)\n\
+                   // bao-lint: allow(no-unsafe, no-wall-clock)\n\
+                   unsafe {}\n\
+                   // bao-lint: allow-file(no-hash-iter-order)\n";
+        let m = mask(src);
+        assert!(m.is_allowed("no-panic-path", 1));
+        assert!(m.is_allowed("no-unsafe", 3)); // pragma on line 2 covers line 3
+        assert!(m.is_allowed("no-wall-clock", 2));
+        assert!(!m.is_allowed("no-unsafe", 1));
+        assert!(m.is_allowed("no-hash-iter-order", 999)); // file-wide
+    }
+
+    #[test]
+    fn test_regions_are_marked() {
+        let src = "fn prod() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { y.unwrap(); }\n\
+                   }\n\
+                   fn prod2() {}\n";
+        let m = mask(src);
+        assert!(!m.is_test_line(1));
+        assert!(m.is_test_line(3));
+        assert!(m.is_test_line(4));
+        assert!(m.is_test_line(5));
+        assert!(!m.is_test_line(6));
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_opens_no_region() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn prod() { x.unwrap(); }\n";
+        let m = mask(src);
+        assert!(!m.is_test_line(3));
+    }
+}

@@ -1,0 +1,32 @@
+//! Fixture for the no-hash-iter-order rule (driven by tests/rules.rs).
+
+use std::collections::HashMap;
+use std::collections::BTreeMap;
+
+pub fn build() -> HashMap<u32, f64> {
+    HashMap::new()
+}
+
+pub fn decoys() -> BTreeMap<u32, u32> {
+    let _s = "HashMap in a string literal";
+    // HashMap in a comment.
+    struct HashMapLike;
+    let _ = HashMapLike;
+    BTreeMap::new()
+}
+
+// Key order never observed here. bao-lint: allow(no-hash-iter-order)
+pub fn counted() -> std::collections::HashSet<u32> {
+    // bao-lint: allow(no-hash-iter-order)
+    std::collections::HashSet::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let _: HashMap<u32, u32> = HashMap::new();
+    }
+}

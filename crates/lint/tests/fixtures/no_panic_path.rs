@@ -1,0 +1,33 @@
+//! Fixture for the no-panic-path rule (driven by tests/rules.rs).
+
+pub fn risky(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn messaged(v: Option<u32>) -> u32 {
+    v.expect("present")
+}
+
+pub fn aborts() -> ! {
+    panic!("boom");
+}
+
+pub fn decoys(v: Option<u32>) -> u32 {
+    // .unwrap() in a comment is fine.
+    let _s = "so is .expect( in a string";
+    v.unwrap_or(7)
+}
+
+pub fn justified(v: Option<u32>) -> u32 {
+    // Invariant: caller checked Some. bao-lint: allow(no-panic-path)
+    v.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        assert_eq!(super::risky(Some(3)), 3);
+        let _ = Some(5).unwrap();
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture for the no-unsafe rule (driven by tests/rules.rs).
+
+pub fn peek(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() }
+}
+
+pub fn decoys() {
+    let _s = "unsafe in a string";
+    // unsafe in a comment
+    let _unsafe_adjacent_ident = 0;
+}
+
+// Audited: read within bounds. bao-lint: allow(no-unsafe)
+pub unsafe fn audited(v: &[u8]) -> u8 {
+    *v.as_ptr()
+}

@@ -1,0 +1,23 @@
+//! Fixture for the no-wall-clock rule (driven by tests/rules.rs).
+
+use std::time::{Duration, Instant};
+
+pub fn naive_timer() -> Duration {
+    let t0 = Instant::now();
+    t0.elapsed()
+}
+
+pub fn stamped() {
+    let _ = std::time::SystemTime::now();
+}
+
+pub fn decoys() {
+    let _doc = "calls Instant::now() at runtime";
+    // A comment mentioning SystemTime is fine.
+}
+
+pub fn telemetry() -> Duration {
+    // Telemetry only, never feeds plan choice. bao-lint: allow(no-wall-clock)
+    let t0 = Instant::now();
+    t0.elapsed()
+}

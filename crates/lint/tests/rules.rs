@@ -1,0 +1,145 @@
+//! Fixture-driven acceptance tests for bao-lint: each rule fires at the
+//! exact expected lines, decoys in strings/comments/test code stay
+//! silent, allow pragmas waive findings, and the workspace itself scans
+//! clean.
+
+use bao_lint::manifest::check_manifest;
+use bao_lint::rules::check_source;
+use bao_lint::RuleId;
+
+/// Lines at which `rule` fires on `src` when checked as `path`.
+fn lines_for(rule: RuleId, path: &str, src: &str) -> Vec<usize> {
+    let diags = check_source(path, src, &[rule]);
+    for d in &diags {
+        assert_eq!(d.rule, rule);
+        assert_eq!(d.path, path);
+    }
+    diags.iter().map(|d| d.line).collect()
+}
+
+#[test]
+fn no_wall_clock_fires_at_exact_lines() {
+    let src = include_str!("fixtures/no_wall_clock.rs");
+    // Line 6: Instant::now; line 11: SystemTime::now. The string/comment
+    // decoys (15-16) and the pragma'd telemetry site (21) stay silent.
+    assert_eq!(
+        lines_for(RuleId::NoWallClock, "crates/core/src/fixture.rs", src),
+        vec![6, 11]
+    );
+    // The timing harness is the one exempt module.
+    assert_eq!(lines_for(RuleId::NoWallClock, "crates/bench/src/timing.rs", src), vec![]);
+}
+
+#[test]
+fn no_hash_iter_order_fires_at_exact_lines() {
+    let src = include_str!("fixtures/no_hash_iter_order.rs");
+    // Lines 3, 6, 7: real HashMap uses. HashMapLike (13), masked decoys
+    // (11-12), pragma'd HashSet sites (19, 21) and the #[cfg(test)]
+    // module (26, 30) stay silent.
+    assert_eq!(
+        lines_for(RuleId::NoHashIterOrder, "crates/plan/src/fixture.rs", src),
+        vec![3, 6, 7]
+    );
+    // Out of the order-sensitive crates, the rule does not apply at all.
+    assert_eq!(
+        lines_for(RuleId::NoHashIterOrder, "crates/executor/src/fixture.rs", src),
+        vec![]
+    );
+}
+
+#[test]
+fn no_unsafe_fires_at_exact_lines() {
+    let src = include_str!("fixtures/no_unsafe.rs");
+    // Line 4: unsafe block. The string/comment decoys (8-9), the
+    // identifier containing "unsafe" (10), and the pragma'd fn (14) stay
+    // silent.
+    assert_eq!(lines_for(RuleId::NoUnsafe, "crates/common/src/fixture.rs", src), vec![4]);
+    // The audited json module is exempt.
+    assert_eq!(lines_for(RuleId::NoUnsafe, "crates/common/src/json.rs", src), vec![]);
+}
+
+#[test]
+fn no_panic_path_fires_at_exact_lines() {
+    let src = include_str!("fixtures/no_panic_path.rs");
+    // Lines 4, 8, 12: unwrap/expect/panic!. unwrap_or (18), comment and
+    // string decoys (16-17), the pragma'd invariant (23), and the test
+    // module (30-31) stay silent.
+    assert_eq!(
+        lines_for(RuleId::NoPanicPath, "crates/optimizer/src/fixture.rs", src),
+        vec![4, 8, 12]
+    );
+    // Off the query path the rule does not apply.
+    assert_eq!(lines_for(RuleId::NoPanicPath, "crates/bench/src/fixture.rs", src), vec![]);
+    // Integration-test targets are wholly test code.
+    assert_eq!(lines_for(RuleId::NoPanicPath, "crates/plan/tests/fixture.rs", src), vec![]);
+}
+
+#[test]
+fn allow_file_pragma_waives_whole_file() {
+    let src = format!(
+        "// bao-lint: allow-file(no-panic-path)\n{}",
+        include_str!("fixtures/no_panic_path.rs")
+    );
+    assert_eq!(lines_for(RuleId::NoPanicPath, "crates/optimizer/src/fixture.rs", &src), vec![]);
+    // Only the named rule is waived.
+    let src = format!(
+        "// bao-lint: allow-file(no-panic-path)\n{}",
+        include_str!("fixtures/no_wall_clock.rs")
+    );
+    assert_eq!(
+        lines_for(RuleId::NoWallClock, "crates/core/src/fixture.rs", &src),
+        vec![7, 12]
+    );
+}
+
+#[test]
+fn hermetic_manifest_flags_every_remote_source() {
+    let good = "\
+[package]
+name = \"x\"
+version = \"0.1.0\"
+
+[dependencies]
+bao-common = { workspace = true }
+bao-plan = { path = \"../plan\" }
+";
+    assert_eq!(check_manifest("crates/x/Cargo.toml", good), vec![]);
+
+    let bad = "\
+[dependencies]
+serde = \"1.0\"
+rand = { version = \"0.8\", features = [\"std\"] }
+bao-common = { path = \"../common\" }
+
+[dependencies.libc]
+version = \"0.2\"
+";
+    let d = check_manifest("crates/x/Cargo.toml", bad);
+    assert!(d.iter().all(|x| x.rule == RuleId::HermeticManifest));
+    let lines: Vec<usize> = d.iter().map(|x| x.line).collect();
+    // Bare version string (2), inline version (3), and the
+    // [dependencies.libc] subsection reported at its header (6).
+    assert_eq!(lines, vec![2, 3, 6], "{d:?}");
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf();
+    let report = bao_lint::run(&root, &RuleId::ALL).expect("lint run");
+    assert!(
+        report.is_clean(),
+        "workspace has un-annotated lint findings:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Sanity: the walk actually visited the workspace, not an empty dir.
+    assert!(report.files_scanned > 100, "only {} files scanned", report.files_scanned);
+}

@@ -260,12 +260,14 @@ pub fn scan_candidates(ctx: &PlannerCtx<'_>, rel: &BaseRel) -> Result<Vec<Candid
     Ok(out)
 }
 
-/// The cheapest candidate in a non-empty list.
-pub fn cheapest(cands: Vec<Candidate>) -> Candidate {
+/// The cheapest candidate in a list; errors on an empty list. `total_cmp`
+/// keeps the comparison total even if a cost model ever emits NaN (such a
+/// candidate sorts last instead of panicking mid-planning).
+pub fn cheapest(cands: Vec<Candidate>) -> Result<Candidate> {
     cands
         .into_iter()
-        .min_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite costs"))
-        .expect("non-empty candidate list")
+        .min_by(|a, b| a.cost.total_cmp(&b.cost))
+        .ok_or_else(|| BaoError::Planning("empty candidate list".into()))
 }
 
 #[cfg(test)]
@@ -317,7 +319,7 @@ mod tests {
         let est = PostgresEstimator;
         let c = ctx(&q, &db, &cat, &est, &params, HintSet::all_enabled());
         let rels = base_relations(&c).unwrap();
-        let best = cheapest(scan_candidates(&c, &rels[0]).unwrap());
+        let best = cheapest(scan_candidates(&c, &rels[0]).unwrap()).unwrap();
         assert!(matches!(best.node.op, Operator::IndexScan { .. }), "{:?}", best.node.op);
         assert!(c.work.get() >= 2);
     }
@@ -330,7 +332,7 @@ mod tests {
         let est = PostgresEstimator;
         let c = ctx(&q, &db, &cat, &est, &params, HintSet::all_enabled());
         let rels = base_relations(&c).unwrap();
-        let best = cheapest(scan_candidates(&c, &rels[0]).unwrap());
+        let best = cheapest(scan_candidates(&c, &rels[0]).unwrap()).unwrap();
         assert!(matches!(best.node.op, Operator::SeqScan { .. }));
     }
 
@@ -344,7 +346,7 @@ mod tests {
         let hints = HintSet::from_masks(0b111, 0b001);
         let c = ctx(&q, &db, &cat, &est, &params, hints);
         let rels = base_relations(&c).unwrap();
-        let best = cheapest(scan_candidates(&c, &rels[0]).unwrap());
+        let best = cheapest(scan_candidates(&c, &rels[0]).unwrap()).unwrap();
         assert!(matches!(best.node.op, Operator::SeqScan { .. }));
     }
 
@@ -358,7 +360,7 @@ mod tests {
         let rels = base_relations(&c).unwrap();
         let cands = scan_candidates(&c, &rels[0]).unwrap();
         assert!(cands.iter().any(|x| matches!(x.node.op, Operator::IndexOnlyScan { .. })));
-        let best = cheapest(cands);
+        let best = cheapest(cands).unwrap();
         assert!(matches!(best.node.op, Operator::IndexOnlyScan { .. }));
     }
 
@@ -426,7 +428,7 @@ mod tests {
         let hints = HintSet::from_masks(0b111, 0b110); // seq disabled
         let c = ctx(&q, &db, &cat, &est, &params, hints);
         let rels = base_relations(&c).unwrap();
-        let best = cheapest(scan_candidates(&c, &rels[0]).unwrap());
+        let best = cheapest(scan_candidates(&c, &rels[0]).unwrap()).unwrap();
         // only seq exists; it is chosen despite the penalty
         assert!(matches!(best.node.op, Operator::SeqScan { .. }));
         assert!(best.cost >= params.disable_cost);

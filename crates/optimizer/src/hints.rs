@@ -110,6 +110,21 @@ impl HintSet {
         }
     }
 
+    /// This hint set as the plan verifier's hint description, paired with
+    /// the cost model's `disable_cost` so the verifier can tell
+    /// penalty-free plans from penalized ones.
+    pub fn check(&self, disable_cost: f64) -> bao_plan::HintCheck {
+        bao_plan::HintCheck {
+            hash_join: self.hash_join,
+            merge_join: self.merge_join,
+            nested_loop: self.nested_loop,
+            seq_scan: self.seq_scan,
+            index_scan: self.index_scan,
+            index_only_scan: self.index_only_scan,
+            disable_cost,
+        }
+    }
+
     /// All 49 non-empty × non-empty hint sets. Index 0 is the unhinted
     /// optimizer (everything enabled).
     pub fn family_49() -> Vec<HintSet> {

@@ -4,7 +4,7 @@
 use crate::access::{cheapest, scan_candidates, BaseRel, Candidate, PlannerCtx};
 use bao_common::{BaoError, Result};
 use bao_plan::{ColRef, JoinAlgo, JoinPred, Operator, PlanNode, ScanKind};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Queries up to this many relations are planned with exact DP; wider
 /// queries fall back to greedy enumeration (PostgreSQL similarly switches
@@ -20,9 +20,9 @@ pub fn plan_joins(ctx: &PlannerCtx<'_>, rels: &[BaseRel]) -> Result<Candidate> {
     }
     validate_join_graph(ctx, n)?;
     if n == 1 {
-        return Ok(cheapest(scan_candidates(ctx, &rels[0])?));
+        return cheapest(scan_candidates(ctx, &rels[0])?);
     }
-    let mut rows_memo: HashMap<u32, f64> = HashMap::new();
+    let mut rows_memo: BTreeMap<u32, f64> = BTreeMap::new();
     if n <= DP_THRESHOLD {
         plan_dp(ctx, rels, &mut rows_memo)
     } else {
@@ -57,7 +57,7 @@ fn rows_for(
     ctx: &PlannerCtx<'_>,
     rels: &[BaseRel],
     mask: u32,
-    memo: &mut HashMap<u32, f64>,
+    memo: &mut BTreeMap<u32, f64>,
 ) -> f64 {
     if let Some(&r) = memo.get(&mask) {
         return r;
@@ -199,11 +199,10 @@ fn join_candidates(
 
     // Nested loop with a parameterized index lookup inner: only when the
     // inner side is a single base relation with an index on the join key.
-    if right_mask.count_ones() == 1 {
-        let rel = rels
-            .iter()
-            .find(|r| right_mask & (1 << r.idx) != 0)
-            .expect("mask refers to a relation");
+    if let Some(rel) = (right_mask.count_ones() == 1)
+        .then(|| rels.iter().find(|r| right_mask & (1 << r.idx) != 0))
+        .flatten()
+    {
         if let Ok(stored) = ctx.db.by_name(&rel.name) {
             if let Some(sidx) = stored.index_on(&pred.right.column) {
                 let preds_logical: Vec<bao_plan::Predicate> =
@@ -278,13 +277,13 @@ fn join_candidates(
 fn plan_dp(
     ctx: &PlannerCtx<'_>,
     rels: &[BaseRel],
-    rows_memo: &mut HashMap<u32, f64>,
+    rows_memo: &mut BTreeMap<u32, f64>,
 ) -> Result<Candidate> {
     let n = rels.len();
     let full: u32 = (1u32 << n) - 1;
-    let mut best: HashMap<u32, Candidate> = HashMap::new();
+    let mut best: BTreeMap<u32, Candidate> = BTreeMap::new();
     for rel in rels {
-        best.insert(1 << rel.idx, cheapest(scan_candidates(ctx, rel)?));
+        best.insert(1 << rel.idx, cheapest(scan_candidates(ctx, rel)?)?);
     }
     for mask in 2..=full {
         if mask.count_ones() < 2 {
@@ -320,11 +319,11 @@ fn plan_dp(
 fn plan_greedy(
     ctx: &PlannerCtx<'_>,
     rels: &[BaseRel],
-    rows_memo: &mut HashMap<u32, f64>,
+    rows_memo: &mut BTreeMap<u32, f64>,
 ) -> Result<Candidate> {
     let mut entries: Vec<(u32, Candidate)> = Vec::with_capacity(rels.len());
     for rel in rels {
-        entries.push((1 << rel.idx, cheapest(scan_candidates(ctx, rel)?)));
+        entries.push((1 << rel.idx, cheapest(scan_candidates(ctx, rel)?)?));
     }
     while entries.len() > 1 {
         // Pick the connected pair whose join output is smallest (GOO).
@@ -359,13 +358,16 @@ fn plan_greedy(
         cands.extend(join_candidates(
             ctx, rels, &entries[j].1, &entries[i].1, entries[i].0, &flipped, out_rows,
         ));
-        let winner = cheapest(cands);
+        let winner = cheapest(cands)?;
         let (hi, lo) = if i > j { (i, j) } else { (j, i) };
         entries.remove(hi);
         entries.remove(lo);
         entries.push((mask, winner));
     }
-    Ok(entries.pop().expect("one entry remains").1)
+    match entries.pop() {
+        Some((_, winner)) => Ok(winner),
+        None => Err(BaoError::Planning("greedy: no relations to join".into())),
+    }
 }
 
 /// Helper used by the optimizer's top-level: the column a plan is known to

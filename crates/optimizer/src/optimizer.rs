@@ -133,6 +133,18 @@ impl Optimizer {
                 .with_estimates(rows, cost);
         }
 
+        // Debug builds (and therefore every test run) verify each arm's
+        // raw plan, including hint consistency: the raw cost still carries
+        // any disable_cost penalty, which is what lets the verifier tell
+        // penalty-free plans from penalized ones.
+        #[cfg(debug_assertions)]
+        bao_plan::verify::verify_with_hints(
+            &root,
+            query,
+            db,
+            &ctx.hints.check(self.params.disable_cost),
+        )?;
+
         Ok(PlanOutput { root, work: ctx.work.get() })
     }
 }

@@ -6,9 +6,11 @@
 pub mod joingraph;
 pub mod logical;
 pub mod physical;
+pub mod verify;
 
 pub use joingraph::JoinGraph;
 pub use logical::{
     AggFunc, CmpOp, ColRef, JoinPred, Predicate, Query, SelectItem, TableRef,
 };
 pub use physical::{JoinAlgo, OpKind, Operator, PlanNode, ScanKind, N_OP_KINDS};
+pub use verify::{HintCheck, VerifyError};

@@ -382,15 +382,18 @@ impl fmt::Display for Query {
                 SelectItem::Column(c) => format!("{}.{}", self.tables[c.table].alias, c.column),
                 SelectItem::Agg(a) => {
                     let name = match a {
-                        AggFunc::CountStar => return "COUNT(*)".to_string(),
-                        AggFunc::Count(_) => "COUNT",
+                        AggFunc::CountStar | AggFunc::Count(_) => "COUNT",
                         AggFunc::Sum(_) => "SUM",
                         AggFunc::Min(_) => "MIN",
                         AggFunc::Max(_) => "MAX",
                         AggFunc::Avg(_) => "AVG",
                     };
-                    let c = a.input().expect("non-star agg has input");
-                    format!("{name}({}.{})", self.tables[c.table].alias, c.column)
+                    match a.input() {
+                        Some(c) => {
+                            format!("{name}({}.{})", self.tables[c.table].alias, c.column)
+                        }
+                        None => format!("{name}(*)"),
+                    }
                 }
             })
             .collect();

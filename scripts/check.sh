@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# One-shot verification gate, in dependency order:
+#   1. bao-lint        — workspace invariant lints (DESIGN.md §7), JSON
+#                        report to results/lint_report.json
+#   2. check_hermetic  — static manifest scan (via bao-lint)
+#   3. build + test    — tier-1: cargo build --release && cargo test -q
+#
+# Run from anywhere; operates on the repo containing this script.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+echo "== bao-lint =="
+cargo run -q -p bao-lint -- --json
+
+echo
+echo "== hermetic manifests =="
+"$repo/scripts/check_hermetic.sh"
+
+echo
+echo "== build (release) =="
+cargo build --release
+
+echo
+echo "== test =="
+cargo test -q
+
+echo
+echo "all checks passed"
