@@ -83,11 +83,13 @@ fn main() {
         boot_nets.push(net);
     }
     let boot_spread = |set: &[FeatTree]| -> f64 {
-        let per_tree: Vec<f64> = set
-            .iter()
-            .map(|t| {
-                let preds: Vec<f64> =
-                    boot_nets.iter().map(|n| n.predict(t) as f64).collect();
+        // Each ensemble member scores the whole set in one packed batch.
+        let refs: Vec<&FeatTree> = set.iter().collect();
+        let member_preds: Vec<Vec<f32>> =
+            boot_nets.iter().map(|n| n.predict_batch(&refs)).collect();
+        let per_tree: Vec<f64> = (0..set.len())
+            .map(|i| {
+                let preds: Vec<f64> = member_preds.iter().map(|p| p[i] as f64).collect();
                 std_dev(&preds)
             })
             .collect();
@@ -99,15 +101,18 @@ fn main() {
         TreeCnn::new(TcnnConfig::tiny(featurizer.input_dim()).with_dropout(0.2), 300);
     train(&mut drop_net, &trees, &zs, &TrainConfig { seed, ..tc });
     let mc_spread = |set: &[FeatTree]| -> f64 {
-        let per_tree: Vec<f64> = set
-            .iter()
-            .map(|t| {
-                let preds: Vec<f64> = (0..samples)
-                    .map(|k| {
-                        let mut rng = rng_from_seed(split_seed(seed, 400 + k as u64));
-                        drop_net.predict_sample(t, &mut rng) as f64
-                    })
-                    .collect();
+        // One packed batch per posterior draw: every tree shares draw k's
+        // dropout stream, and the whole set runs as a single forward pass.
+        let refs: Vec<&FeatTree> = set.iter().collect();
+        let draws: Vec<Vec<f32>> = (0..samples)
+            .map(|k| {
+                let mut rng = rng_from_seed(split_seed(seed, 400 + k as u64));
+                drop_net.predict_sample_batch(&refs, &mut rng)
+            })
+            .collect();
+        let per_tree: Vec<f64> = (0..set.len())
+            .map(|i| {
+                let preds: Vec<f64> = draws.iter().map(|d| d[i] as f64).collect();
                 std_dev(&preds)
             })
             .collect();

@@ -251,8 +251,13 @@ impl Bao {
             let tree = self.featurizer.featurize(&root, query, db, pool);
             pairs.push((root, tree));
         }
-        let predictions: Vec<Option<f64>> =
-            pairs.iter().map(|(_, t)| self.model.predict(t).ok()).collect();
+        // Score all arms in one packed batch — a single forward pass over
+        // the concatenated plan trees instead of 49 per-tree matvec loops.
+        let arm_trees: Vec<&FeatTree> = pairs.iter().map(|(_, t)| t).collect();
+        let predictions: Vec<Option<f64>> = match self.model.predict_batch(&arm_trees) {
+            Ok(preds) => preds.into_iter().map(Some).collect(),
+            Err(_) => vec![None; pairs.len()],
+        };
         let best = predictions
             .iter()
             .enumerate()
@@ -339,11 +344,11 @@ impl Bao {
             let mut violated = Vec::new();
             for g in &self.critical {
                 let true_best = argmin(g.entries.iter().map(|&(_, y)| y));
-                let preds: Vec<f64> = g
-                    .entries
-                    .iter()
-                    .map(|(t, _)| self.model.predict(t).unwrap_or(f64::INFINITY))
-                    .collect();
+                let group_trees: Vec<&FeatTree> = g.entries.iter().map(|(t, _)| t).collect();
+                let preds: Vec<f64> = self
+                    .model
+                    .predict_batch(&group_trees)
+                    .unwrap_or_else(|_| vec![f64::INFINITY; g.entries.len()]);
                 let pred_best = argmin(preds.iter().copied());
                 // Arms frequently alias to the same physical plan; the
                 // guarantee is about *plans*, so a predicted winner whose

@@ -14,6 +14,10 @@
 //!   `bao_common::json`.
 //! * `no-panic-path` — `unwrap()` / `expect(` / `panic!` are denied in the
 //!   non-test query path (`core`, `optimizer`, `executor`, `plan`).
+//! * `no-per-node-alloc` — the batched compute kernels (`bao_nn::param`,
+//!   `bao_nn::layers`) must hoist scratch buffers out of their hot loops;
+//!   `vec![` / `Vec::with_capacity` inside a `for` body there is a
+//!   per-node allocation the batching work exists to eliminate.
 //! * `hermetic-manifest` — every manifest dependency must be a local
 //!   `path` crate (see [`crate::manifest`]).
 //!
@@ -31,15 +35,17 @@ pub enum RuleId {
     NoHashIterOrder,
     NoUnsafe,
     NoPanicPath,
+    NoPerNodeAlloc,
     HermeticManifest,
 }
 
 impl RuleId {
-    pub const ALL: [RuleId; 5] = [
+    pub const ALL: [RuleId; 6] = [
         RuleId::NoWallClock,
         RuleId::NoHashIterOrder,
         RuleId::NoUnsafe,
         RuleId::NoPanicPath,
+        RuleId::NoPerNodeAlloc,
         RuleId::HermeticManifest,
     ];
 
@@ -49,6 +55,7 @@ impl RuleId {
             RuleId::NoHashIterOrder => "no-hash-iter-order",
             RuleId::NoUnsafe => "no-unsafe",
             RuleId::NoPanicPath => "no-panic-path",
+            RuleId::NoPerNodeAlloc => "no-per-node-alloc",
             RuleId::HermeticManifest => "hermetic-manifest",
         }
     }
@@ -70,6 +77,9 @@ impl RuleId {
             RuleId::NoPanicPath => {
                 "unwrap()/expect()/panic! on the non-test query path"
             }
+            RuleId::NoPerNodeAlloc => {
+                "vec!/Vec::with_capacity inside a for loop in an nn kernel file"
+            }
             RuleId::HermeticManifest => "non-path dependency in a Cargo.toml",
         }
     }
@@ -83,6 +93,10 @@ const ORDER_SENSITIVE_CRATES: [&str; 4] =
 /// Crates forming the query path for `no-panic-path`.
 const QUERY_PATH_CRATES: [&str; 4] =
     ["crates/core/", "crates/optimizer/", "crates/executor/", "crates/plan/"];
+
+/// The batched compute kernels: hot loops there must not allocate.
+const KERNEL_FILES: [&str; 2] =
+    ["crates/nn/src/param.rs", "crates/nn/src/layers.rs"];
 
 /// The one module allowed to read the wall clock: the timing harness.
 const WALL_CLOCK_ALLOWED: &str = "crates/bench/src/timing.rs";
@@ -102,13 +116,22 @@ pub fn applies_to(rule: RuleId, path: &str) -> bool {
         RuleId::NoHashIterOrder => in_any(path, &ORDER_SENSITIVE_CRATES),
         RuleId::NoUnsafe => path != UNSAFE_ALLOWED,
         RuleId::NoPanicPath => in_any(path, &QUERY_PATH_CRATES),
+        RuleId::NoPerNodeAlloc => KERNEL_FILES.contains(&path),
         RuleId::HermeticManifest => false, // manifest rule, not a source rule
     }
 }
 
 /// Does `rule` skip lines inside `#[cfg(test)]` / `#[test]` regions?
 fn skips_test_code(rule: RuleId) -> bool {
-    matches!(rule, RuleId::NoPanicPath | RuleId::NoHashIterOrder)
+    matches!(
+        rule,
+        RuleId::NoPanicPath | RuleId::NoHashIterOrder | RuleId::NoPerNodeAlloc
+    )
+}
+
+/// Does `rule` only fire on lines inside a `for` loop body?
+fn only_in_loops(rule: RuleId) -> bool {
+    matches!(rule, RuleId::NoPerNodeAlloc)
 }
 
 /// Is the whole file test code (an integration-test target or a bench
@@ -134,6 +157,10 @@ fn patterns(rule: RuleId) -> &'static [Pattern] {
             Pattern { needle: ".expect(", word: false },
             Pattern { needle: "panic!", word: true },
         ],
+        RuleId::NoPerNodeAlloc => &[
+            Pattern { needle: "vec![", word: true },
+            Pattern { needle: "Vec::with_capacity", word: true },
+        ],
         RuleId::HermeticManifest => &[],
     }
 }
@@ -149,17 +176,24 @@ fn is_ident(c: char) -> bool {
     c.is_alphanumeric() || c == '_'
 }
 
-/// All match positions of `p` in `line`, honouring word boundaries.
+/// All match positions of `p` in `line`, honouring word boundaries. A
+/// boundary is only demanded on ends of the needle that are themselves
+/// identifier characters (so `vec![` needs a boundary before `vec` but
+/// accepts any character after the `[`).
 fn find_matches(line: &str, p: &Pattern) -> bool {
+    let needs_before = p.needle.chars().next().is_some_and(is_ident);
+    let needs_after = p.needle.chars().next_back().is_some_and(is_ident);
     let mut from = 0;
     while let Some(pos) = line[from..].find(p.needle) {
         let at = from + pos;
         if !p.word {
             return true;
         }
-        let before_ok = at == 0 || !is_ident(line[..at].chars().next_back().unwrap_or(' '));
+        let before_ok = !needs_before
+            || at == 0
+            || !is_ident(line[..at].chars().next_back().unwrap_or(' '));
         let after = line[at + p.needle.len()..].chars().next();
-        let after_ok = !after.is_some_and(is_ident);
+        let after_ok = !needs_after || !after.is_some_and(is_ident);
         if before_ok && after_ok {
             return true;
         }
@@ -185,9 +219,13 @@ pub fn check_masked(
         if skip_tests && is_test_file(path) {
             continue;
         }
+        let loops_only = only_in_loops(rule);
         for (idx, line) in masked.lines.iter().enumerate() {
             let line_no = idx + 1;
             if skip_tests && masked.is_test_line(line_no) {
+                continue;
+            }
+            if loops_only && !masked.is_loop_line(line_no) {
                 continue;
             }
             for p in patterns(rule) {
@@ -235,6 +273,9 @@ mod tests {
         assert!(!applies_to(RuleId::NoWallClock, "crates/bench/src/timing.rs"));
         assert!(applies_to(RuleId::NoWallClock, "crates/core/src/bao.rs"));
         assert!(!applies_to(RuleId::NoUnsafe, "crates/common/src/json.rs"));
+        assert!(applies_to(RuleId::NoPerNodeAlloc, "crates/nn/src/param.rs"));
+        assert!(applies_to(RuleId::NoPerNodeAlloc, "crates/nn/src/layers.rs"));
+        assert!(!applies_to(RuleId::NoPerNodeAlloc, "crates/nn/src/net.rs"));
     }
 
     #[test]
@@ -253,6 +294,50 @@ mod tests {
         );
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn per_node_alloc_flagged_only_inside_loops() {
+        let src = "fn kernel(n: usize) {\n\
+                   let scratch = vec![0.0f32; n];\n\
+                   for i in 0..n {\n\
+                       let tmp = vec![0.0f32; 4];\n\
+                       let mut out = Vec::with_capacity(i);\n\
+                       out.push(tmp[0]);\n\
+                   }\n\
+                   }\n";
+        let d = check_source("crates/nn/src/param.rs", src, &[RuleId::NoPerNodeAlloc]);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert_eq!(d[0].line, 4);
+        assert_eq!(d[1].line, 5);
+        // Outside the kernel files the rule does not apply at all.
+        let d = check_source("crates/nn/src/train.rs", src, &[RuleId::NoPerNodeAlloc]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn per_node_alloc_pragma_and_impl_for() {
+        let src = "fn f() {\n\
+                   for i in 0..3 {\n\
+                       // bao-lint: allow(no-per-node-alloc)\n\
+                       let v = vec![0; i];\n\
+                   }\n\
+                   }\n\
+                   impl Clone for Foo {\n\
+                   fn clone(&self) -> Foo { Foo { w: vec![0; 1] } }\n\
+                   }\n";
+        let d = check_source("crates/nn/src/layers.rs", src, &[RuleId::NoPerNodeAlloc]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn per_node_alloc_respects_word_boundary() {
+        let d = check_source(
+            "crates/nn/src/param.rs",
+            "fn f() { for i in 0..3 { myvec![i]; } }\n",
+            &[RuleId::NoPerNodeAlloc],
+        );
+        assert!(d.is_empty(), "{d:?}");
     }
 
     #[test]

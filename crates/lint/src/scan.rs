@@ -25,12 +25,19 @@ pub struct MaskedSource {
     pub file_allows: BTreeSet<String>,
     /// `true` for every (1-based) line inside a test-only region.
     test_lines: Vec<bool>,
+    /// `true` for every (1-based) line inside a `for` loop body.
+    loop_lines: Vec<bool>,
 }
 
 impl MaskedSource {
     /// Is 1-based `line` inside a `#[cfg(test)]` module or `#[test]` fn?
     pub fn is_test_line(&self, line: usize) -> bool {
         self.test_lines.get(line - 1).copied().unwrap_or(false)
+    }
+
+    /// Is 1-based `line` inside the braces of a `for` loop?
+    pub fn is_loop_line(&self, line: usize) -> bool {
+        self.loop_lines.get(line - 1).copied().unwrap_or(false)
     }
 
     /// Is a diagnostic for `rule` at 1-based `line` suppressed by a
@@ -239,7 +246,8 @@ pub fn mask(src: &str) -> MaskedSource {
     let masked_str: String = masked.into_iter().collect();
     let lines: Vec<String> = masked_str.split('\n').map(|l| l.to_string()).collect();
     let test_lines = find_test_lines(&lines);
-    MaskedSource { lines, allows, file_allows, test_lines }
+    let loop_lines = find_loop_lines(&lines);
+    MaskedSource { lines, allows, file_allows, test_lines, loop_lines }
 }
 
 fn is_raw_string_start(chars: &[char], i: usize) -> bool {
@@ -354,6 +362,70 @@ fn find_test_lines(masked_lines: &[String]) -> Vec<bool> {
     test
 }
 
+/// Is the word `w` present at `chars[i..]` with identifier boundaries?
+fn word_at(chars: &[char], i: usize, w: &str) -> bool {
+    let wl = w.chars().count();
+    if i + wl > chars.len() || !chars[i..i + wl].iter().copied().eq(w.chars()) {
+        return false;
+    }
+    let ident = |c: char| c.is_alphanumeric() || c == '_';
+    let before_ok = i == 0 || !ident(chars[i - 1]);
+    let after_ok = !chars.get(i + wl).copied().is_some_and(ident);
+    before_ok && after_ok
+}
+
+/// Mark every line inside a `for` loop's braces. The `for ... {` header
+/// line counts as inside once its `{` opens. `impl Trait for Type` and
+/// higher-ranked `for<'a>` bounds are not loops and open no region.
+fn find_loop_lines(masked_lines: &[String]) -> Vec<bool> {
+    let mut in_loop = vec![false; masked_lines.len()];
+    let mut depth: i64 = 0;
+    // Depth at which each active loop body started; loops nest.
+    let mut region_starts: Vec<i64> = Vec::new();
+    let mut pending = false;
+
+    for (li, line) in masked_lines.iter().enumerate() {
+        let active_at_start = !region_starts.is_empty();
+        // A single-line loop opens and closes within the line; remember
+        // the open so the line still counts as loop body.
+        let mut opened_here = false;
+        let chars: Vec<char> = line.chars().collect();
+        let impl_line = (0..chars.len()).any(|i| word_at(&chars, i, "impl"));
+        let mut i = 0;
+        while i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    if pending {
+                        region_starts.push(depth);
+                        pending = false;
+                        opened_here = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if region_starts.last().is_some_and(|s| depth <= *s) {
+                        region_starts.pop();
+                    }
+                }
+                'f' if !impl_line && word_at(&chars, i, "for") => {
+                    if chars.get(i + 3) != Some(&'<') {
+                        pending = true;
+                    }
+                    i += 3;
+                    continue;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        if active_at_start || opened_here || !region_starts.is_empty() {
+            in_loop[li] = true;
+        }
+    }
+    in_loop
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -424,6 +496,45 @@ mod tests {
         assert!(m.is_test_line(4));
         assert!(m.is_test_line(5));
         assert!(!m.is_test_line(6));
+    }
+
+    #[test]
+    fn loop_regions_are_marked() {
+        let src = "fn f() {\n\
+                   let a = vec![0; 4];\n\
+                   for i in 0..4 {\n\
+                       let b = vec![0; i];\n\
+                   }\n\
+                   let c = 1;\n\
+                   }\n";
+        let m = mask(src);
+        assert!(!m.is_loop_line(2));
+        assert!(m.is_loop_line(3)); // header line: its `{` opened
+        assert!(m.is_loop_line(4));
+        assert!(m.is_loop_line(5)); // closing `}` still part of the loop
+        assert!(!m.is_loop_line(6));
+    }
+
+    #[test]
+    fn single_line_loop_is_a_loop_line() {
+        let src = "fn f() { for i in 0..3 { g(i); } }\nlet after = 1;\n";
+        let m = mask(src);
+        assert!(m.is_loop_line(1));
+        assert!(!m.is_loop_line(2));
+    }
+
+    #[test]
+    fn impl_for_and_hrtb_open_no_loop_region() {
+        let src = "impl Iterator for Foo {\n\
+                   fn next(&mut self) { let v = 1; }\n\
+                   }\n\
+                   fn g<F: for<'a> Fn(&'a u8)>(f: F) {\n\
+                   let w = 2;\n\
+                   }\n";
+        let m = mask(src);
+        for l in 1..=6 {
+            assert!(!m.is_loop_line(l), "line {l} wrongly in a loop");
+        }
     }
 
     #[test]

@@ -1,0 +1,44 @@
+//! Fixture for the no-per-node-alloc rule (driven by tests/rules.rs).
+
+pub fn kernel(n: usize) -> f32 {
+    let scratch = vec![0.0f32; n]; // hoisted: outside any loop, fine
+    let mut acc = 0.0;
+    for i in 0..n {
+        let per_node = vec![0.0f32; 4];
+        let mut grown = Vec::with_capacity(i);
+        grown.push(per_node[0] + scratch[i]);
+        acc += grown[0];
+    }
+    acc
+}
+
+pub fn decoys(n: usize) {
+    let _s = "for { vec![0; 1] } in a string";
+    // for { Vec::with_capacity(9) } in a comment
+    for _i in 0..n {
+        let _not_std = my_vec![0; 1];
+    }
+}
+
+impl Default for Wrapper {
+    fn default() -> Wrapper {
+        Wrapper { inner: vec![0.0; 8] } // impl-for is not a loop
+    }
+}
+
+pub fn waived(n: usize) {
+    for i in 0..n {
+        // Grows with tree depth, reused across nodes. bao-lint: allow(no-per-node-alloc)
+        let _stack = Vec::with_capacity(i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        for i in 0..3 {
+            let _v = vec![0; i]; // test code is exempt
+        }
+    }
+}

@@ -75,6 +75,25 @@ fn no_panic_path_fires_at_exact_lines() {
 }
 
 #[test]
+fn no_per_node_alloc_fires_at_exact_lines() {
+    let src = include_str!("fixtures/no_per_node_alloc.rs");
+    // Lines 7, 8: vec!/Vec::with_capacity inside the for body. The
+    // hoisted alloc (4), string/comment decoys (16-17), the non-std
+    // macro (19), the impl-for block (25), the pragma'd site (32), and
+    // the test module (41) stay silent.
+    assert_eq!(
+        lines_for(RuleId::NoPerNodeAlloc, "crates/nn/src/param.rs", src),
+        vec![7, 8]
+    );
+    assert_eq!(
+        lines_for(RuleId::NoPerNodeAlloc, "crates/nn/src/layers.rs", src),
+        vec![7, 8]
+    );
+    // Outside the kernel files the rule does not apply at all.
+    assert_eq!(lines_for(RuleId::NoPerNodeAlloc, "crates/nn/src/net.rs", src), vec![]);
+}
+
+#[test]
 fn allow_file_pragma_waives_whole_file() {
     let src = format!(
         "// bao-lint: allow-file(no-panic-path)\n{}",

@@ -41,6 +41,15 @@ pub trait ValueModel: Send {
     /// Errors if the model has never been fitted.
     fn predict(&self, tree: &FeatTree) -> Result<f64>;
 
+    /// Predict performance for many plan trees at once. The default
+    /// delegates to [`ValueModel::predict`] per tree; batched models
+    /// (TCNN) override this with a single packed forward pass — this is
+    /// the hot path for arm selection, which scores all 49 candidate
+    /// plans per query.
+    fn predict_batch(&self, trees: &[&FeatTree]) -> Result<Vec<f64>> {
+        trees.iter().map(|t| self.predict(t)).collect()
+    }
+
     fn is_fitted(&self) -> bool;
 
     /// Epochs run by the most recent `fit` (0 for models without an epoch

@@ -93,6 +93,14 @@ impl ValueModel for TcnnModel {
         Ok(norm.inverse(net.predict(tree) as f64))
     }
 
+    fn predict_batch(&self, trees: &[&FeatTree]) -> Result<Vec<f64>> {
+        let (net, norm) = match (&self.net, &self.norm) {
+            (Some(n), Some(m)) => (n, m),
+            _ => return Err(BaoError::ModelNotFitted),
+        };
+        Ok(net.predict_batch(trees).into_iter().map(|p| norm.inverse(p as f64)).collect())
+    }
+
     fn is_fitted(&self) -> bool {
         self.net.is_some()
     }
@@ -161,6 +169,22 @@ mod tests {
         }
         let frac = concordant as f64 / total as f64;
         assert!(frac > 0.7, "rank agreement {frac}");
+    }
+
+    #[test]
+    fn predict_batch_matches_per_tree() {
+        let (trees, ys) = dataset(40, 14);
+        let mut m = TcnnModel::new(TcnnConfig::tiny(3), TrainConfig::default());
+        assert!(m.predict_batch(&[&trees[0]]).is_err());
+        m.fit(&trees, &ys, 4);
+        let refs: Vec<&FeatTree> = trees.iter().collect();
+        let batch = m.predict_batch(&refs).unwrap();
+        assert_eq!(batch.len(), trees.len());
+        for (t, &pb) in trees.iter().zip(batch.iter()) {
+            let p = m.predict(t).unwrap();
+            let denom = p.abs().max(1.0);
+            assert!((p - pb).abs() / denom < 1e-5, "batch {pb} vs scalar {p}");
+        }
     }
 
     #[test]

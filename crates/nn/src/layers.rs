@@ -4,6 +4,21 @@
 //! and are written as free functions so the network's tape (in `net.rs`)
 //! owns every cached activation explicitly — no hidden state, which makes
 //! the finite-difference gradient check in `net.rs` meaningful.
+//!
+//! Two generations coexist:
+//!
+//! * the original per-node kernels (`tree_conv_forward`, `linear_forward`,
+//!   ...) — the scalar reference path, kept for single-tree prediction,
+//!   the finite-difference gradient checks, and as the baseline the
+//!   batched path is benchmarked and equivalence-tested against;
+//! * `*_batch` kernels — the hot path. They run over a packed multi-tree
+//!   buffer ([`crate::tree::TreeBatch`]) and route every dense product
+//!   through the blocked GEMMs in [`Param`] (`matmul_add` and friends),
+//!   with child features gathered once per layer instead of per node.
+//!
+//! Batched results match the reference within float-reassociation noise
+//! (~1e-6 relative), not bit-for-bit: the GEMM's 4-row accumulator blocks
+//! reorder additions.
 
 use crate::param::Param;
 use bao_common::json::{self, FromJson, Json, ToJson};
@@ -243,6 +258,164 @@ pub fn linear_backward(w: &mut Param, b: &mut Param, x: &[f32], dy: &[f32]) -> V
     dx
 }
 
+// ---------------------------------------------------------------------------
+// Batched kernels (packed multi-tree buffers; see crate::tree::TreeBatch).
+//
+// ReLU and layer norm are per-node, so `relu_forward` and
+// `layer_norm_forward` above already run unchanged on a packed batch; only
+// the kernels that touch tree structure (convolution gathers, pooling) or
+// benefit from GEMM (convolution, FC) need batch variants.
+// ---------------------------------------------------------------------------
+
+/// Gather `idx`-selected rows of node-major `x` into a dense `n × c`
+/// buffer; `-1` indices yield zero rows. Turns the tree convolution's
+/// scattered child reads into one contiguous GEMM operand.
+fn gather_rows(x: &[f32], idx: &[i32], c: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; idx.len() * c];
+    for (i, &j) in idx.iter().enumerate() {
+        if j >= 0 {
+            let j = j as usize;
+            out[i * c..(i + 1) * c].copy_from_slice(&x[j * c..(j + 1) * c]);
+        }
+    }
+    out
+}
+
+/// Batched [`tree_conv_forward`]: child indices may span a packed
+/// multi-tree batch (rebased, so trees never alias). Three vectorized
+/// GEMMs over (self, left-indexed, right-indexed) replace the per-node
+/// matvec dispatch; the child terms gather rows inside the GEMM
+/// ([`Param::matmul_gather_add`]), so no gathered copy of `x` is ever
+/// materialized.
+pub fn tree_conv_forward_batch(
+    p: &TreeConvParams,
+    left: &[i32],
+    right: &[i32],
+    x: &[f32],
+) -> Vec<f32> {
+    let (in_c, out_c) = (p.in_c(), p.out_c());
+    let n = left.len();
+    debug_assert_eq!(x.len(), n * in_c);
+    let mut y = vec![0.0f32; n * out_c];
+    for yi in y.chunks_exact_mut(out_c) {
+        yi.copy_from_slice(&p.bias.w);
+    }
+    p.top.matmul_add(x, &mut y, n);
+    p.left.matmul_gather_add(x, left, &mut y);
+    p.right.matmul_gather_add(x, right, &mut y);
+    y
+}
+
+/// Backward of [`tree_conv_forward_batch`]; accumulates parameter
+/// gradients and returns `dx`. Weight gradients go through the batched
+/// outer-product GEMM; the child input-gradients are scatter-adds (row
+/// targets are data-dependent), done per node with vectorizable axpy rows.
+pub fn tree_conv_backward_batch(
+    p: &mut TreeConvParams,
+    left: &[i32],
+    right: &[i32],
+    x: &[f32],
+    dy: &[f32],
+) -> Vec<f32> {
+    let (in_c, out_c) = (p.in_c(), p.out_c());
+    let n = left.len();
+    let mut dx = vec![0.0f32; n * in_c];
+    for dyi in dy.chunks_exact(out_c) {
+        for (bg, &d) in p.bias.g.iter_mut().zip(dyi.iter()) {
+            *bg += d;
+        }
+    }
+    p.top.grad_outer_batch_add(dy, x, n);
+    p.top.matmul_t_add(dy, &mut dx, n);
+    let xl = gather_rows(x, left, in_c);
+    p.left.grad_outer_batch_add(dy, &xl, n);
+    for i in 0..n {
+        if left[i] >= 0 {
+            let l = left[i] as usize;
+            p.left.matvec_t_add(&dy[i * out_c..(i + 1) * out_c], &mut dx[l * in_c..(l + 1) * in_c]);
+        }
+    }
+    let xr = gather_rows(x, right, in_c);
+    p.right.grad_outer_batch_add(dy, &xr, n);
+    for i in 0..n {
+        if right[i] >= 0 {
+            let r = right[i] as usize;
+            p.right
+                .matvec_t_add(&dy[i * out_c..(i + 1) * out_c], &mut dx[r * in_c..(r + 1) * in_c]);
+        }
+    }
+    dx
+}
+
+/// Per-tree dynamic max pooling over a packed batch: tree `t` pools its
+/// `offsets[t]..offsets[t+1]` node rows. Returns `n_trees × c` pooled
+/// activations and the winning *batch-global* node per (tree, channel).
+pub fn dyn_pool_forward_batch(
+    x: &[f32],
+    c: usize,
+    offsets: &[usize],
+) -> (Vec<f32>, Vec<usize>) {
+    let n_trees = offsets.len() - 1;
+    let mut y = vec![f32::NEG_INFINITY; n_trees * c];
+    let mut arg = vec![0usize; n_trees * c];
+    for t in 0..n_trees {
+        debug_assert!(offsets[t] < offsets[t + 1], "empty tree in batch");
+        for i in offsets[t]..offsets[t + 1] {
+            for j in 0..c {
+                let v = x[i * c + j];
+                if v > y[t * c + j] {
+                    y[t * c + j] = v;
+                    arg[t * c + j] = i;
+                }
+            }
+        }
+    }
+    (y, arg)
+}
+
+/// Scatter pooled gradients back to the winning nodes of every tree.
+pub fn dyn_pool_backward_batch(
+    arg: &[usize],
+    dy: &[f32],
+    total_nodes: usize,
+    c: usize,
+) -> Vec<f32> {
+    let mut dx = vec![0.0f32; total_nodes * c];
+    for (slot, (&i, &d)) in arg.iter().zip(dy.iter()).enumerate() {
+        dx[i * c + slot % c] += d;
+    }
+    dx
+}
+
+/// Fully connected layer over a row batch (`n × in` → `n × out`).
+pub fn linear_forward_batch(w: &Param, b: &Param, x: &[f32], n: usize) -> Vec<f32> {
+    let mut y = vec![0.0f32; n * w.rows];
+    for yi in y.chunks_exact_mut(w.rows) {
+        yi.copy_from_slice(&b.w);
+    }
+    w.matmul_add(x, &mut y, n);
+    y
+}
+
+/// Backward of [`linear_forward_batch`].
+pub fn linear_backward_batch(
+    w: &mut Param,
+    b: &mut Param,
+    x: &[f32],
+    dy: &[f32],
+    n: usize,
+) -> Vec<f32> {
+    for dyi in dy.chunks_exact(w.rows) {
+        for (bg, &d) in b.g.iter_mut().zip(dyi.iter()) {
+            *bg += d;
+        }
+    }
+    w.grad_outer_batch_add(dy, x, n);
+    let mut dx = vec![0.0f32; n * w.cols];
+    w.matmul_t_add(dy, &mut dx, n);
+    dx
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,5 +471,94 @@ mod tests {
         let b = Param::from_weights(2, 1, vec![0.5, -0.5]);
         let y = linear_forward(&w, &b, &[1.0, 2.0, 3.0]);
         assert_eq!(y, vec![1.5, 4.5]);
+    }
+
+    use bao_common::{rng_from_seed, Rng};
+
+    /// A packed two-tree batch (5 + 3 nodes) with random features.
+    fn packed_pair(in_c: usize, seed: u64) -> (Vec<i32>, Vec<i32>, Vec<f32>, Vec<usize>) {
+        let mut rng = rng_from_seed(seed);
+        // tree 0: 5 nodes rooted at 0; tree 1: 3 nodes rooted at 5
+        let left = vec![1, 3, -1, -1, -1, 6, -1, -1];
+        let right = vec![2, 4, -1, -1, -1, 7, -1, -1];
+        let x: Vec<f32> = (0..8 * in_c).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        (left, right, x, vec![0, 5, 8])
+    }
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!((x - y).abs() <= tol * x.abs().max(y.abs()).max(1.0), "[{i}] {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn batched_conv_matches_reference() {
+        let (left, right, x, offsets) = packed_pair(5, 42);
+        let p = TreeConvParams::new(5, 7, 9);
+        let batched = tree_conv_forward_batch(&p, &left, &right, &x);
+        // Reference: run each tree separately through the per-node kernel.
+        for (t, w) in offsets.windows(2).enumerate() {
+            let (lo, hi) = (w[0], w[1]);
+            let l: Vec<i32> =
+                left[lo..hi].iter().map(|&c| if c < 0 { -1 } else { c - lo as i32 }).collect();
+            let r: Vec<i32> =
+                right[lo..hi].iter().map(|&c| if c < 0 { -1 } else { c - lo as i32 }).collect();
+            let y = tree_conv_forward(&p, &l, &r, &x[lo * 5..hi * 5]);
+            assert_close(&batched[lo * 7..hi * 7], &y, 1e-5);
+            let _ = t;
+        }
+    }
+
+    #[test]
+    fn batched_conv_backward_matches_reference() {
+        let (left, right, x, _) = packed_pair(4, 7);
+        let mut rng = rng_from_seed(8);
+        let dy: Vec<f32> = (0..8 * 6).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let mut pa = TreeConvParams::new(4, 6, 3);
+        let mut pb = pa.clone();
+        let dxa = tree_conv_backward_batch(&mut pa, &left, &right, &x, &dy);
+        let dxb = tree_conv_backward(&mut pb, &left, &right, &x, &dy);
+        assert_close(&dxa, &dxb, 1e-5);
+        assert_close(&pa.top.g, &pb.top.g, 1e-5);
+        assert_close(&pa.left.g, &pb.left.g, 1e-5);
+        assert_close(&pa.right.g, &pb.right.g, 1e-5);
+        assert_close(&pa.bias.g, &pb.bias.g, 1e-5);
+    }
+
+    #[test]
+    fn batched_pool_segments_trees() {
+        // 2 trees (2 + 1 nodes), 2 channels
+        let x = vec![1.0, 9.0, 4.0, 2.0, 7.0, 3.0];
+        let (y, arg) = dyn_pool_forward_batch(&x, 2, &[0, 2, 3]);
+        assert_eq!(y, vec![4.0, 9.0, 7.0, 3.0]);
+        assert_eq!(arg, vec![1, 0, 2, 2]);
+        let dx = dyn_pool_backward_batch(&arg, &[0.1, 0.2, 0.3, 0.4], 3, 2);
+        assert_eq!(dx, vec![0.0, 0.2, 0.1, 0.0, 0.3, 0.4]);
+    }
+
+    #[test]
+    fn batched_linear_matches_reference() {
+        let mut rng = rng_from_seed(15);
+        let mut w = Param::he(3, 4, 1);
+        let mut b = Param::he(3, 1, 2);
+        let n = 5;
+        let x: Vec<f32> = (0..n * 4).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let y = linear_forward_batch(&w, &b, &x, n);
+        for i in 0..n {
+            let yi = linear_forward(&w, &b, &x[i * 4..(i + 1) * 4]);
+            assert_close(&y[i * 3..(i + 1) * 3], &yi, 1e-5);
+        }
+        let dy: Vec<f32> = (0..n * 3).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let mut w2 = w.clone();
+        let mut b2 = b.clone();
+        let dx = linear_backward_batch(&mut w, &mut b, &x, &dy, n);
+        for i in 0..n {
+            let dxi =
+                linear_backward(&mut w2, &mut b2, &x[i * 4..(i + 1) * 4], &dy[i * 3..(i + 1) * 3]);
+            assert_close(&dx[i * 4..(i + 1) * 4], &dxi, 1e-5);
+        }
+        assert_close(&w.g, &w2.g, 1e-5);
+        assert_close(&b.g, &b2.g, 1e-5);
     }
 }

@@ -22,7 +22,7 @@ pub mod train;
 pub mod tree;
 
 pub use adam::AdamConfig;
-pub use net::{TcnnConfig, TreeCnn};
+pub use net::{BatchTape, TcnnConfig, TreeCnn};
 pub use param::Param;
-pub use train::{train, TrainConfig, TrainReport};
-pub use tree::FeatTree;
+pub use train::{train, train_reference, TrainConfig, TrainReport};
+pub use tree::{FeatTree, TreeBatch};

@@ -1,12 +1,13 @@
 //! The tree convolutional neural network of paper Figure 5.
 
 use crate::layers::{
-    dyn_pool_backward, dyn_pool_forward, layer_norm_backward, layer_norm_forward,
-    linear_backward, linear_forward, relu_backward, relu_forward, tree_conv_backward,
-    tree_conv_forward, TreeConvParams,
+    dyn_pool_backward, dyn_pool_backward_batch, dyn_pool_forward, dyn_pool_forward_batch,
+    layer_norm_backward, layer_norm_forward, linear_backward, linear_backward_batch,
+    linear_forward, linear_forward_batch, relu_backward, relu_forward, tree_conv_backward,
+    tree_conv_backward_batch, tree_conv_forward, tree_conv_forward_batch, TreeConvParams,
 };
 use crate::param::Param;
-use crate::tree::FeatTree;
+use crate::tree::{FeatTree, TreeBatch};
 use bao_common::json::{self, FromJson, Json, ToJson};
 use bao_common::{split_seed, Result, Rng, RngCore};
 
@@ -135,6 +136,33 @@ impl FromJson for TreeCnn {
     }
 }
 
+/// Inverted dropout in one pass: draws each unit's keep/drop decision and
+/// scales `act` in place, returning the mask for backward (`None` when
+/// dropout is inactive). Draw order and count match the historical
+/// build-mask-then-multiply implementation, so seeded dropout streams are
+/// unchanged.
+fn apply_dropout(
+    act: &mut [f32],
+    p: f32,
+    rng: &mut Option<&mut dyn RngCore>,
+) -> Option<Vec<f32>> {
+    let rng = match (rng, p > 0.0) {
+        (Some(r), true) => r,
+        _ => return None,
+    };
+    let keep = 1.0 / (1.0 - p);
+    let mut mask = vec![0.0f32; act.len()];
+    for (a, m) in act.iter_mut().zip(mask.iter_mut()) {
+        if rng.gen_f32() < p {
+            *a = 0.0;
+        } else {
+            *m = keep;
+            *a *= keep;
+        }
+    }
+    Some(mask)
+}
+
 /// Cached activations from one forward pass, consumed by `backward`.
 pub struct Tape {
     /// Block inputs: `xs[0]` is the raw features, `xs[k+1]` the ReLU
@@ -149,6 +177,21 @@ pub struct Tape {
     pooled: Vec<f32>,
     fc1_y: Vec<f32>,
     n_nodes: usize,
+}
+
+/// Cached activations of one batched forward pass over a
+/// [`TreeBatch`], consumed by [`TreeCnn::backward_batch`]. Same shape as
+/// [`Tape`] but every buffer spans the packed batch (`pooled`/`fc1_y` are
+/// `n_trees × c` row batches, `pool_arg` holds batch-global node indices).
+pub struct BatchTape {
+    xs: Vec<Vec<f32>>,
+    ln_xhat: Vec<Vec<f32>>,
+    ln_inv_std: Vec<Vec<f32>>,
+    drop_masks: Vec<Option<Vec<f32>>>,
+    pool_arg: Vec<usize>,
+    pooled: Vec<f32>,
+    fc1_y: Vec<f32>,
+    total_nodes: usize,
 }
 
 impl TreeCnn {
@@ -221,21 +264,7 @@ impl TreeCnn {
             ln_xhat.push(xhat);
             ln_inv_std.push(inv_std);
             let mut act = relu_forward(&ln_out);
-            let mask = match (&mut rng, p > 0.0) {
-                (Some(rng), true) => {
-                    let keep = 1.0 / (1.0 - p);
-                    let mask: Vec<f32> = act
-                        .iter()
-                        .map(|_| if rng.gen_f32() < p { 0.0 } else { keep })
-                        .collect();
-                    for (a, m) in act.iter_mut().zip(mask.iter()) {
-                        *a *= m;
-                    }
-                    Some(mask)
-                }
-                _ => None,
-            };
-            drop_masks.push(mask);
+            drop_masks.push(apply_dropout(&mut act, p, &mut rng));
             xs.push(act);
         }
         let c3 = self.cfg.channels[2];
@@ -253,6 +282,159 @@ impl TreeCnn {
             n_nodes: tree.n_nodes(),
         };
         (out[0], tape)
+    }
+
+    // -----------------------------------------------------------------
+    // Batched path: every hot consumer (arm scoring, MC-dropout sampling,
+    // minibatch training) goes through these; the single-tree methods
+    // above remain as the scalar reference implementation.
+    // -----------------------------------------------------------------
+
+    /// Score many trees in one packed batch. Equivalent to mapping
+    /// [`TreeCnn::predict`] over `trees` (within ~1e-6 relative float
+    /// noise), but runs every layer as a blocked GEMM over the whole
+    /// batch: one pass per layer, no per-tree allocation or dispatch.
+    pub fn predict_batch(&self, trees: &[&FeatTree]) -> Vec<f32> {
+        self.predict_packed(&TreeBatch::pack(trees.iter().copied()))
+    }
+
+    /// [`TreeCnn::predict_batch`] over an already-packed batch (callers
+    /// that score the same plans repeatedly can amortize the packing).
+    pub fn predict_packed(&self, batch: &TreeBatch) -> Vec<f32> {
+        self.forward_batch_inner(batch, None).0
+    }
+
+    /// One stochastic MC-dropout posterior draw for every tree in the
+    /// batch (masks stay active, as in [`TreeCnn::predict_sample`]).
+    pub fn predict_sample_batch(&self, trees: &[&FeatTree], rng: &mut impl Rng) -> Vec<f32> {
+        self.forward_batch_inner(
+            &TreeBatch::pack(trees.iter().copied()),
+            Some(rng as &mut dyn RngCore),
+        )
+        .0
+    }
+
+    /// Training forward pass over a packed batch (dropout active when
+    /// configured), returning per-tree predictions and the batch tape.
+    pub fn forward_train_batch(
+        &self,
+        batch: &TreeBatch,
+        rng: &mut impl Rng,
+    ) -> (Vec<f32>, BatchTape) {
+        self.forward_batch_inner(batch, Some(rng as &mut dyn RngCore))
+    }
+
+    /// Deterministic (no-dropout) forward pass with tape, batched.
+    pub fn forward_batch(&self, batch: &TreeBatch) -> (Vec<f32>, BatchTape) {
+        self.forward_batch_inner(batch, None)
+    }
+
+    fn forward_batch_inner(
+        &self,
+        batch: &TreeBatch,
+        mut rng: Option<&mut dyn RngCore>,
+    ) -> (Vec<f32>, BatchTape) {
+        let n_trees = batch.n_trees();
+        if n_trees == 0 {
+            return (
+                Vec::new(),
+                BatchTape {
+                    xs: vec![Vec::new(); 4],
+                    ln_xhat: vec![Vec::new(); 3],
+                    ln_inv_std: vec![Vec::new(); 3],
+                    drop_masks: vec![None; 3],
+                    pool_arg: Vec::new(),
+                    pooled: Vec::new(),
+                    fc1_y: Vec::new(),
+                    total_nodes: 0,
+                },
+            );
+        }
+        debug_assert_eq!(batch.feat_dim, self.cfg.input_dim, "feature dim mismatch");
+        let p = self.cfg.dropout;
+        let mut xs = vec![batch.feats.clone()];
+        let mut ln_xhat = Vec::with_capacity(3);
+        let mut ln_inv_std = Vec::with_capacity(3);
+        let mut drop_masks = Vec::with_capacity(3);
+        for k in 0..3 {
+            let conv_out =
+                tree_conv_forward_batch(&self.conv[k], &batch.left, &batch.right, &xs[k]);
+            let (ln_out, xhat, inv_std) = layer_norm_forward(
+                &self.ln[k].gamma,
+                &self.ln[k].beta,
+                &conv_out,
+                self.conv[k].out_c(),
+            );
+            ln_xhat.push(xhat);
+            ln_inv_std.push(inv_std);
+            let mut act = relu_forward(&ln_out);
+            drop_masks.push(apply_dropout(&mut act, p, &mut rng));
+            xs.push(act);
+        }
+        let c3 = self.cfg.channels[2];
+        let (pooled, pool_arg) = dyn_pool_forward_batch(&xs[3], c3, &batch.offsets);
+        let fc1_y =
+            relu_forward(&linear_forward_batch(&self.fc1_w, &self.fc1_b, &pooled, n_trees));
+        let out = linear_forward_batch(&self.fc2_w, &self.fc2_b, &fc1_y, n_trees);
+        let tape = BatchTape {
+            xs,
+            ln_xhat,
+            ln_inv_std,
+            drop_masks,
+            pool_arg,
+            pooled,
+            fc1_y,
+            total_nodes: batch.total_nodes(),
+        };
+        (out, tape)
+    }
+
+    /// Backpropagate per-tree output gradients (`d_outs[t]` =
+    /// ∂loss/∂prediction of tree `t`) through one batched forward pass,
+    /// accumulating into every parameter. Gradients equal the sum of
+    /// per-tree [`TreeCnn::backward`] calls (up to float reassociation).
+    pub fn backward_batch(&mut self, batch: &TreeBatch, tape: &BatchTape, d_outs: &[f32]) {
+        let n_trees = batch.n_trees();
+        debug_assert_eq!(d_outs.len(), n_trees);
+        if n_trees == 0 {
+            return;
+        }
+        let d_fc1y =
+            linear_backward_batch(&mut self.fc2_w, &mut self.fc2_b, &tape.fc1_y, d_outs, n_trees);
+        let d_fc1y = relu_backward(&tape.fc1_y, &d_fc1y);
+        let d_pooled = linear_backward_batch(
+            &mut self.fc1_w,
+            &mut self.fc1_b,
+            &tape.pooled,
+            &d_fc1y,
+            n_trees,
+        );
+        let c3 = self.cfg.channels[2];
+        let mut d = dyn_pool_backward_batch(&tape.pool_arg, &d_pooled, tape.total_nodes, c3);
+        for k in (0..3).rev() {
+            if let Some(mask) = &tape.drop_masks[k] {
+                for (dv, m) in d.iter_mut().zip(mask.iter()) {
+                    *dv *= m;
+                }
+            }
+            let d_relu = relu_backward(&tape.xs[k + 1], &d);
+            let ln = &mut self.ln[k];
+            let d_ln = layer_norm_backward(
+                &mut ln.gamma,
+                &mut ln.beta,
+                &tape.ln_xhat[k],
+                &tape.ln_inv_std[k],
+                &d_relu,
+                self.conv[k].out_c(),
+            );
+            d = tree_conv_backward_batch(
+                &mut self.conv[k],
+                &batch.left,
+                &batch.right,
+                &tape.xs[k],
+                &d_ln,
+            );
+        }
     }
 
     /// Backpropagate `d_out` (∂loss/∂prediction), accumulating gradients
@@ -283,6 +465,32 @@ impl TreeCnn {
             );
             d = tree_conv_backward(&mut self.conv[k], &tree.left, &tree.right, &tape.xs[k], &d_ln);
         }
+    }
+
+    /// Visit every parameter tensor of `self` paired with the matching
+    /// tensor of `other` (same config required). The deterministic
+    /// gradient-reduction hook of the sharded training loop: shard
+    /// gradients are folded into a master net in a fixed parameter order.
+    pub fn for_each_param_pair(
+        &mut self,
+        other: &TreeCnn,
+        mut f: impl FnMut(&mut Param, &Param),
+    ) {
+        debug_assert_eq!(self.cfg, other.cfg, "config mismatch");
+        for (c, oc) in self.conv.iter_mut().zip(other.conv.iter()) {
+            f(&mut c.top, &oc.top);
+            f(&mut c.left, &oc.left);
+            f(&mut c.right, &oc.right);
+            f(&mut c.bias, &oc.bias);
+        }
+        for (l, ol) in self.ln.iter_mut().zip(other.ln.iter()) {
+            f(&mut l.gamma, &ol.gamma);
+            f(&mut l.beta, &ol.beta);
+        }
+        f(&mut self.fc1_w, &other.fc1_w);
+        f(&mut self.fc1_b, &other.fc1_b);
+        f(&mut self.fc2_w, &other.fc2_w);
+        f(&mut self.fc2_b, &other.fc2_b);
     }
 
     /// Visit every parameter tensor (optimizer hook).
@@ -519,5 +727,97 @@ mod tests {
         let tree = FeatTree::leaf(vec![0.5, -0.5]);
         let v = net.predict(&tree);
         assert!(v.is_finite());
+    }
+
+    /// A varied set of trees (different shapes and sizes) for batch tests.
+    fn tree_zoo(rng: &mut impl Rng, dim: usize) -> Vec<FeatTree> {
+        let mut out = vec![FeatTree::leaf((0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect())];
+        for _ in 0..4 {
+            out.push(random_tree(rng, dim));
+        }
+        let nodes: Vec<Vec<f32>> =
+            (0..3).map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+        out.push(FeatTree::new(dim, nodes, vec![1, -1, -1], vec![2, -1, -1]));
+        out
+    }
+
+    #[test]
+    fn predict_batch_matches_per_tree() {
+        let mut rng = rng_from_seed(19);
+        let trees = tree_zoo(&mut rng, 3);
+        let net = TreeCnn::new(TcnnConfig::tiny(3), 7);
+        let refs: Vec<&FeatTree> = trees.iter().collect();
+        let batch_preds = net.predict_batch(&refs);
+        assert_eq!(batch_preds.len(), trees.len());
+        for (t, &bp) in trees.iter().zip(batch_preds.iter()) {
+            let sp = net.predict(t);
+            assert!((bp - sp).abs() <= 1e-5 * sp.abs().max(1.0), "{bp} vs {sp}");
+        }
+        assert!(net.predict_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn backward_batch_matches_summed_per_tree() {
+        let mut rng = rng_from_seed(23);
+        let trees = tree_zoo(&mut rng, 3);
+        let d_outs: Vec<f32> = (0..trees.len()).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+
+        // Reference: per-tree backward, gradients summed across trees.
+        let mut a = TreeCnn::new(TcnnConfig::tiny(3), 77);
+        a.zero_grad();
+        for (t, &d) in trees.iter().zip(d_outs.iter()) {
+            let (_, tape) = a.forward(t);
+            a.backward(t, &tape, d);
+        }
+        let mut ref_grads: Vec<f32> = Vec::new();
+        a.for_each_param(|p| ref_grads.extend_from_slice(&p.g));
+
+        // Batched backward over the packed batch.
+        let mut b = TreeCnn::new(TcnnConfig::tiny(3), 77);
+        b.zero_grad();
+        let batch = TreeBatch::pack(trees.iter());
+        let (_, tape) = b.forward_batch(&batch);
+        b.backward_batch(&batch, &tape, &d_outs);
+        let mut batch_grads: Vec<f32> = Vec::new();
+        b.for_each_param(|p| batch_grads.extend_from_slice(&p.g));
+
+        assert_eq!(ref_grads.len(), batch_grads.len());
+        for (i, (r, g)) in ref_grads.iter().zip(batch_grads.iter()).enumerate() {
+            assert!(
+                (r - g).abs() <= 1e-4 * r.abs().max(g.abs()).max(1e-2),
+                "grad [{i}]: {r} vs {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_batch_is_seeded_and_varies() {
+        let mut rng = rng_from_seed(31);
+        let trees = tree_zoo(&mut rng, 3);
+        let refs: Vec<&FeatTree> = trees.iter().collect();
+        let net = TreeCnn::new(TcnnConfig::tiny(3).with_dropout(0.3), 9);
+        let s1 = net.predict_sample_batch(&refs, &mut rng_from_seed(1));
+        let s2 = net.predict_sample_batch(&refs, &mut rng_from_seed(2));
+        assert_ne!(s1, s2);
+        assert_eq!(s1, net.predict_sample_batch(&refs, &mut rng_from_seed(1)));
+        // no dropout: sampling equals the deterministic batch prediction
+        let plain = TreeCnn::new(TcnnConfig::tiny(3), 9);
+        assert_eq!(
+            plain.predict_batch(&refs),
+            plain.predict_sample_batch(&refs, &mut rng_from_seed(3))
+        );
+    }
+
+    #[test]
+    fn for_each_param_pair_walks_in_lockstep() {
+        let mut a = TreeCnn::new(TcnnConfig::tiny(3), 1);
+        let b = TreeCnn::new(TcnnConfig::tiny(3), 1);
+        let mut pairs = 0usize;
+        a.for_each_param_pair(&b, |p, q| {
+            assert_eq!(p.len(), q.len());
+            assert_eq!(p.w, q.w); // same seed -> same tensors, in order
+            pairs += 1;
+        });
+        assert_eq!(pairs, 3 * 4 + 3 * 2 + 4);
     }
 }

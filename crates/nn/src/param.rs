@@ -129,6 +129,153 @@ impl Param {
             }
         }
     }
+
+    /// Batched `Y += X Wᵀ`: `x` is a node-major `n × cols` buffer, `y` a
+    /// node-major `n × rows` buffer.
+    ///
+    /// This is the forward GEMM of every batched layer. [`Param::matvec_add`]
+    /// is bound by a serial FMA reduction (strict f32 semantics forbid the
+    /// compiler from reassociating one accumulator into SIMD lanes), so the
+    /// batched kernel flips the loop: the weights are transposed once per
+    /// call, and each input element then contributes an *axpy* over the
+    /// output row — independent lanes, which LLVM auto-vectorizes. The
+    /// transpose cost amortizes over the whole batch; below
+    /// [`Self::MATMUL_MIN_BATCH`] rows the kernel falls back to per-node
+    /// `matvec_add`, where the transpose would dominate. Zero inputs (the
+    /// gathered zero rows of missing children) skip their axpy entirely.
+    /// Accumulation per output element stays in ascending-`k` order, so
+    /// results are deterministic (but not bitwise equal to `matvec_add`,
+    /// whose rounding order differs — equivalence is to ~1e-6 relative).
+    pub fn matmul_add(&self, x: &[f32], y: &mut [f32], n: usize) {
+        let c = self.cols;
+        let rows = self.rows;
+        debug_assert_eq!(x.len(), n * c);
+        debug_assert_eq!(y.len(), n * rows);
+        if n < Self::MATMUL_MIN_BATCH {
+            for i in 0..n {
+                self.matvec_add(&x[i * c..(i + 1) * c], &mut y[i * rows..(i + 1) * rows]);
+            }
+            return;
+        }
+        let mut wt = vec![0.0f32; c * rows];
+        for r in 0..rows {
+            for k in 0..c {
+                wt[k * rows + r] = self.w[r * c + k];
+            }
+        }
+        for i in 0..n {
+            let xi = &x[i * c..(i + 1) * c];
+            let yi = &mut y[i * rows..(i + 1) * rows];
+            for (k, &xv) in xi.iter().enumerate() {
+                if xv == 0.0 {
+                    continue;
+                }
+                let wk = &wt[k * rows..(k + 1) * rows];
+                for (yv, &wv) in yi.iter_mut().zip(wk.iter()) {
+                    *yv += xv * wv;
+                }
+            }
+        }
+    }
+
+    /// Below this many batch rows, [`Param::matmul_add`]'s weight
+    /// transpose costs more than the vectorization gains.
+    pub const MATMUL_MIN_BATCH: usize = 4;
+
+    /// Gathered batched forward: `y[i] += W x[idx[i]]` for every `i` with
+    /// `idx[i] >= 0`. The tree convolution's child terms use this instead
+    /// of materializing a gathered copy of `x` — missing children (`-1`)
+    /// are skipped without touching memory at all. Same transposed-axpy
+    /// scheme (and the same summation order guarantees) as
+    /// [`Param::matmul_add`].
+    pub fn matmul_gather_add(&self, x: &[f32], idx: &[i32], y: &mut [f32]) {
+        let c = self.cols;
+        let rows = self.rows;
+        let n = idx.len();
+        debug_assert_eq!(y.len(), n * rows);
+        if n < Self::MATMUL_MIN_BATCH {
+            for (i, &j) in idx.iter().enumerate() {
+                if j >= 0 {
+                    let j = j as usize;
+                    self.matvec_add(
+                        &x[j * c..(j + 1) * c],
+                        &mut y[i * rows..(i + 1) * rows],
+                    );
+                }
+            }
+            return;
+        }
+        let mut wt = vec![0.0f32; c * rows];
+        for r in 0..rows {
+            for k in 0..c {
+                wt[k * rows + r] = self.w[r * c + k];
+            }
+        }
+        for (i, &j) in idx.iter().enumerate() {
+            if j < 0 {
+                continue;
+            }
+            let j = j as usize;
+            let xj = &x[j * c..(j + 1) * c];
+            let yi = &mut y[i * rows..(i + 1) * rows];
+            for (k, &xv) in xj.iter().enumerate() {
+                if xv == 0.0 {
+                    continue;
+                }
+                let wk = &wt[k * rows..(k + 1) * rows];
+                for (yv, &wv) in yi.iter_mut().zip(wk.iter()) {
+                    *yv += xv * wv;
+                }
+            }
+        }
+    }
+
+    /// Batched `dX += dY W`: `dy` is `n × rows`, `dx` is `n × cols`.
+    /// The input-gradient GEMM of [`Param::matmul_add`]. Rows with a zero
+    /// upstream gradient (common after ReLU) are skipped.
+    pub fn matmul_t_add(&self, dy: &[f32], dx: &mut [f32], n: usize) {
+        let c = self.cols;
+        let rows = self.rows;
+        debug_assert_eq!(dy.len(), n * rows);
+        debug_assert_eq!(dx.len(), n * c);
+        for i in 0..n {
+            let dyi = &dy[i * rows..(i + 1) * rows];
+            let dxi = &mut dx[i * c..(i + 1) * c];
+            for (r, &d) in dyi.iter().enumerate() {
+                if d == 0.0 {
+                    continue;
+                }
+                let wr = &self.w[r * c..(r + 1) * c];
+                for (xg, &wv) in dxi.iter_mut().zip(wr.iter()) {
+                    *xg += d * wv;
+                }
+            }
+        }
+    }
+
+    /// Batched `dW += dYᵀ X`: `dy` is `n × rows`, `x` is `n × cols`.
+    /// The weight-gradient GEMM of [`Param::matmul_add`]. Nodes are
+    /// accumulated in ascending order, matching a sequential per-node
+    /// [`Param::grad_outer_add`] loop bit-for-bit.
+    pub fn grad_outer_batch_add(&mut self, dy: &[f32], x: &[f32], n: usize) {
+        let c = self.cols;
+        let rows = self.rows;
+        debug_assert_eq!(dy.len(), n * rows);
+        debug_assert_eq!(x.len(), n * c);
+        for i in 0..n {
+            let dyi = &dy[i * rows..(i + 1) * rows];
+            let xi = &x[i * c..(i + 1) * c];
+            for (r, &d) in dyi.iter().enumerate() {
+                if d == 0.0 {
+                    continue;
+                }
+                let row = &mut self.g[r * c..(r + 1) * c];
+                for (gv, &xv) in row.iter_mut().zip(xi.iter()) {
+                    *gv += d * xv;
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -172,6 +319,56 @@ mod tests {
         assert_eq!(p.g, vec![3.0, 4.0, 6.0, 8.0]);
         p.zero_grad();
         assert!(p.g.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn matmul_matches_per_row_matvec() {
+        // Odd shapes exercise the 4-row block and its tail.
+        let p = Param::he(7, 5, 11);
+        let n = 9;
+        let mut rng = rng_from_seed(3);
+        let x: Vec<f32> = (0..n * 5).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let mut y_batch = vec![0.5f32; n * 7];
+        p.matmul_add(&x, &mut y_batch, n);
+        for i in 0..n {
+            let mut y = vec![0.5f32; 7];
+            p.matvec_add(&x[i * 5..(i + 1) * 5], &mut y);
+            for (a, b) in y_batch[i * 7..(i + 1) * 7].iter().zip(y.iter()) {
+                assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_t_matches_per_row() {
+        let p = Param::he(6, 4, 2);
+        let n = 5;
+        let mut rng = rng_from_seed(8);
+        let dy: Vec<f32> = (0..n * 6).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let mut dx_batch = vec![0.0f32; n * 4];
+        p.matmul_t_add(&dy, &mut dx_batch, n);
+        for i in 0..n {
+            let mut dx = vec![0.0f32; 4];
+            p.matvec_t_add(&dy[i * 6..(i + 1) * 6], &mut dx);
+            for (a, b) in dx_batch[i * 4..(i + 1) * 4].iter().zip(dx.iter()) {
+                assert!((a - b).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn grad_outer_batch_matches_sequential() {
+        let mut pa = Param::zeros(3, 4);
+        let mut pb = Param::zeros(3, 4);
+        let n = 6;
+        let mut rng = rng_from_seed(5);
+        let dy: Vec<f32> = (0..n * 3).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let x: Vec<f32> = (0..n * 4).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        pa.grad_outer_batch_add(&dy, &x, n);
+        for i in 0..n {
+            pb.grad_outer_add(&dy[i * 3..(i + 1) * 3], &x[i * 4..(i + 1) * 4]);
+        }
+        assert_eq!(pa.g, pb.g); // node-ascending order matches bit-for-bit
     }
 
     #[test]

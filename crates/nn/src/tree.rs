@@ -85,6 +85,68 @@ impl FeatTree {
     }
 }
 
+/// Several [`FeatTree`]s packed into one node-major buffer so every layer
+/// kernel runs as a single batched GEMM over all trees at once.
+///
+/// Layout: tree `t`'s nodes occupy batch positions
+/// `offsets[t]..offsets[t + 1]`, features stay node-major
+/// (`total_nodes × feat_dim`), and child indices are rebased to
+/// batch-global positions (`-1` still means "no child"). Per-node kernels
+/// (tree conv, layer norm, ReLU, dropout) never need the tree boundaries;
+/// only pooling consumes `offsets`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeBatch {
+    pub feat_dim: usize,
+    /// `total_nodes × feat_dim` features, node-major across all trees.
+    pub feats: Vec<f32>,
+    /// Batch-global child indices (rebased), `-1` for none.
+    pub left: Vec<i32>,
+    pub right: Vec<i32>,
+    /// `n_trees + 1` cumulative node offsets; `offsets[0] == 0` and
+    /// `offsets[n_trees] == total_nodes`.
+    pub offsets: Vec<usize>,
+}
+
+impl TreeBatch {
+    /// Pack trees into one batch. All trees must share `feat_dim`; an
+    /// empty iterator yields an empty batch (`feat_dim` 0).
+    pub fn pack<'a>(trees: impl IntoIterator<Item = &'a FeatTree>) -> TreeBatch {
+        let mut batch = TreeBatch {
+            feat_dim: 0,
+            feats: Vec::new(),
+            left: Vec::new(),
+            right: Vec::new(),
+            offsets: vec![0],
+        };
+        for tree in trees {
+            if batch.n_trees() == 0 {
+                batch.feat_dim = tree.feat_dim;
+            } else {
+                assert_eq!(tree.feat_dim, batch.feat_dim, "inconsistent feature dimension");
+            }
+            let base = batch.total_nodes() as i32;
+            batch.feats.extend_from_slice(&tree.feats);
+            batch.left.extend(tree.left.iter().map(|&c| if c < 0 { -1 } else { c + base }));
+            batch.right.extend(tree.right.iter().map(|&c| if c < 0 { -1 } else { c + base }));
+            batch.offsets.push(batch.left.len());
+        }
+        batch
+    }
+
+    pub fn n_trees(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    pub fn total_nodes(&self) -> usize {
+        self.left.len()
+    }
+
+    /// Node range of tree `t` within the packed buffers.
+    pub fn tree_range(&self, t: usize) -> std::ops::Range<usize> {
+        self.offsets[t]..self.offsets[t + 1]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,5 +193,43 @@ mod tests {
     #[should_panic(expected = "inconsistent feature dimension")]
     fn dimension_mismatch_panics() {
         FeatTree::new(2, vec![vec![1.0]], vec![-1], vec![-1]);
+    }
+
+    #[test]
+    fn pack_rebases_children_and_offsets() {
+        let a = three_node();
+        let b = FeatTree::leaf(vec![9.0, 9.5]);
+        let c = three_node();
+        let batch = TreeBatch::pack([&a, &b, &c]);
+        assert_eq!(batch.n_trees(), 3);
+        assert_eq!(batch.total_nodes(), 7);
+        assert_eq!(batch.offsets, vec![0, 3, 4, 7]);
+        assert_eq!(batch.tree_range(1), 3..4);
+        // tree 0 keeps its indices, tree 2 is rebased by 4
+        assert_eq!(batch.left, vec![1, -1, -1, -1, 5, -1, -1]);
+        assert_eq!(batch.right, vec![2, -1, -1, -1, 6, -1, -1]);
+        // features are concatenated node-major
+        assert_eq!(&batch.feats[6..8], &[9.0, 9.5]);
+        assert_eq!(batch.feats.len(), 7 * 2);
+    }
+
+    #[test]
+    fn pack_empty_and_single() {
+        let empty = TreeBatch::pack(std::iter::empty::<&FeatTree>());
+        assert_eq!(empty.n_trees(), 0);
+        assert_eq!(empty.total_nodes(), 0);
+        let t = three_node();
+        let one = TreeBatch::pack([&t]);
+        assert_eq!(one.n_trees(), 1);
+        assert_eq!(one.feats, t.feats);
+        assert_eq!(one.left, t.left);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent feature dimension")]
+    fn pack_rejects_mixed_dims() {
+        let a = three_node();
+        let b = FeatTree::leaf(vec![1.0]);
+        TreeBatch::pack([&a, &b]);
     }
 }

@@ -4,12 +4,23 @@
 #                        report to results/lint_report.json
 #   2. check_hermetic  — static manifest scan (via bao-lint)
 #   3. build + test    — tier-1: cargo build --release && cargo test -q
+#   4. bench smoke     — opt-in via --bench-smoke: inference_bench
+#                        --quick --gate, failing on a gated regression
+#                        against results/bench_baselines.json (DESIGN.md §8)
 #
 # Run from anywhere; operates on the repo containing this script.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo"
+
+bench_smoke=0
+for arg in "$@"; do
+    case "$arg" in
+        --bench-smoke) bench_smoke=1 ;;
+        *) echo "unknown flag: $arg" >&2; exit 2 ;;
+    esac
+done
 
 echo "== bao-lint =="
 cargo run -q -p bao-lint -- --json
@@ -25,6 +36,12 @@ cargo build --release
 echo
 echo "== test =="
 cargo test -q
+
+if [ "$bench_smoke" = 1 ]; then
+    echo
+    echo "== bench smoke (inference_bench --quick --gate) =="
+    cargo run -q --release -p bao-bench --bin inference_bench -- --quick --gate
+fi
 
 echo
 echo "all checks passed"
