@@ -4,11 +4,20 @@
 //! (2) maximum per-query optimization times (paper: PostgreSQL 140ms,
 //! ComSys 165ms, Bao 230ms with parallel arm planning).
 
+use bao_bench::timing::{BaselineStore, Comparison};
 use bao_bench::{bao_settings, build_workload, print_header, Args, Table, WorkloadName};
 use bao_cloud::N1_16;
 use bao_harness::{RunConfig, Runner, Strategy};
 use bao_opt::OptimizerProfile;
 use bao_workloads::Workload;
+
+/// Warn threshold on recorded metrics (never gated: this is an
+/// end-to-end figure binary, the first one wired into the store).
+const TOLERANCE: f64 = 0.20;
+
+fn baseline_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/bench_baselines.json")
+}
 
 fn main() {
     let args = Args::from_env();
@@ -16,6 +25,7 @@ fn main() {
     let n = args.queries(300);
     let seed = args.seed();
     let arms = args.usize("arms", 6);
+    let update = args.has("update-baseline");
 
     print_header(
         "Section 6.2: Bao overhead on the fastest 20% of queries + optimization times",
@@ -51,6 +61,8 @@ fn main() {
         "Mean opt (ms)",
         "Max opt (ms)",
     ]);
+    let mut mean_opts: Vec<(&str, f64)> = Vec::new();
+    let mut workload_secs: Vec<(&str, f64)> = Vec::new();
     for (label, strategy, profile) in [
         ("PostgreSQL", Strategy::Traditional, OptimizerProfile::PostgresLike),
         ("ComSys", Strategy::Traditional, OptimizerProfile::ComSysLike),
@@ -66,6 +78,8 @@ fn main() {
             .map(|r| r.opt_time.as_ms())
             .fold(0.0f64, f64::max);
         let mean_opt = res.total_opt.as_ms() / res.records.len().max(1) as f64;
+        mean_opts.push((label, mean_opt));
+        workload_secs.push((label, res.workload_time().as_secs()));
         t.row(vec![
             label.to_string(),
             format!("{:.2}", res.workload_time().as_secs()),
@@ -77,4 +91,51 @@ fn main() {
     println!();
     println!("On a workload of already-optimal queries Bao can only add overhead");
     println!("(its optimization-time increase), mirroring the paper's 4.2m -> 4.5m.");
+
+    // --- Baseline tracking (warn-only: end-to-end figure numbers are
+    // simulated and deterministic, but changes to the planner or the
+    // cloud model legitimately move them; the record exists so such
+    // moves are *seen*, not to fail CI). Larger-is-better convention,
+    // so times are recorded as rates/ratios.
+    let by = |v: &[(&str, f64)], label: &str| {
+        v.iter().find(|(l, _)| *l == label).map(|&(_, x)| x).unwrap_or(f64::NAN)
+    };
+    let metrics = [
+        // Optimization throughput per system (queries / opt-second).
+        ("sec62_pg_opt_queries_per_sec", 1_000.0 / by(&mean_opts, "PostgreSQL")),
+        ("sec62_comsys_opt_queries_per_sec", 1_000.0 / by(&mean_opts, "ComSys")),
+        ("sec62_bao_opt_queries_per_sec", 1_000.0 / by(&mean_opts, "Bao")),
+        // Bao's end-to-end closeness to PostgreSQL on this worst-case
+        // workload (1.0 = no overhead; the paper's 4.2m / 4.5m ≈ 0.93).
+        (
+            "sec62_bao_vs_pg_workload_ratio",
+            by(&workload_secs, "PostgreSQL") / by(&workload_secs, "Bao"),
+        ),
+    ];
+    println!();
+    let mut store = BaselineStore::load(&baseline_path()).expect("load baselines");
+    for (name, value) in metrics {
+        match store.compare(name, value, TOLERANCE) {
+            Comparison::New => {
+                println!("baseline {name}: recorded {value:.3} (new)");
+                store.record(name, value);
+            }
+            Comparison::Ok { ratio } => {
+                println!("baseline {name}: {value:.3} ({:.0}% of baseline) ok", ratio * 100.0);
+                if update {
+                    store.record(name, value);
+                }
+            }
+            Comparison::Regressed { ratio } => {
+                println!(
+                    "WARNING: {name} moved to {value:.3} ({:.0}% of baseline, warn-only)",
+                    ratio * 100.0
+                );
+                if update {
+                    store.record(name, value);
+                }
+            }
+        }
+    }
+    store.save().expect("save baselines");
 }

@@ -1,0 +1,213 @@
+//! Serving-layer benchmark: cross-query coalesced arm scoring and
+//! end-to-end concurrent throughput, with a persisted baseline gate.
+//!
+//! Two measurements:
+//!
+//! 1. **Coalesced scoring speedup (gated).** Eight queries' 49-arm
+//!    families are scored (a) the way the serial runner does — one
+//!    stateless `predict_batch` per query — and (b) the way a serving
+//!    wave does — one `predict_trees_scratch` pass over all 392 trees
+//!    through the tape-free engine, which also dedups the heavily
+//!    aliased arm plans. The ratio is machine-independent: the engine
+//!    wins on *work elimination* (distinct plans vs arms, no tape, no
+//!    pack), not on clock speed or core count, so it is gated like the
+//!    per-tree-vs-batched ratio in `inference_bench`.
+//!
+//! 2. **Serving throughput (warn-only).** A full `ServingRunner` pass at
+//!    concurrency 1/4/8 records simulated queries/sec. The makespan is
+//!    `SimDuration` (machine-free and fully deterministic), but the
+//!    values track workload composition rather than code quality, so
+//!    they are recorded for trend visibility and never gated.
+//!
+//! `--gate` turns gated regressions into a non-zero exit
+//! (`scripts/check.sh --bench-smoke`), `--quick` shrinks sample counts,
+//! `--update-baseline` overwrites recorded values.
+
+use bao_bench::timing::{BaselineStore, Comparison, Group};
+use bao_bench::{build_workload, print_header, Args, WorkloadName};
+use bao_core::Featurizer;
+use bao_harness::{BaoSettings, ModelKind, RunConfig, ServingConfig, ServingRunner, Strategy};
+use bao_nn::{FeatTree, ScoreScratch, TcnnConfig, TreeCnn};
+use bao_opt::{HintSet, Optimizer};
+use bao_stats::StatsCatalog;
+
+/// Regression tolerance on gated ratio metrics.
+const TOLERANCE: f64 = 0.20;
+/// Acceptance floor: a concurrency-8 wave's coalesced scoring pass must
+/// beat eight serial per-query passes by at least this factor.
+const MIN_COALESCED_SPEEDUP: f64 = 1.5;
+/// Queries per coalesced wave in the scoring microbenchmark.
+const WAVE: usize = 8;
+
+fn baseline_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/bench_baselines.json")
+}
+
+/// The exact tree sets a serving wave coalesces: every arm of the
+/// 49-family planned and featurized for each of `n_queries` queries.
+fn arm_trees(seed: u64, scale: f64, n_queries: usize) -> Vec<Vec<FeatTree>> {
+    let (db, wl) = build_workload(WorkloadName::Imdb, scale, n_queries, seed).expect("workload");
+    let cat = StatsCatalog::analyze(&db, 500, seed);
+    let opt = Optimizer::postgres();
+    let featurizer = Featurizer::new(false);
+    let arms = HintSet::family_49();
+    wl.steps
+        .iter()
+        .take(n_queries)
+        .map(|step| {
+            arms.iter()
+                .map(|&arm| {
+                    let out = opt.plan(&step.query, &db, &cat, arm).expect("plan");
+                    featurizer.featurize(&out.root, &step.query, &db, None)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// End-to-end serving run at the given concurrency; returns simulated
+/// queries/sec (deterministic: the makespan is simulated time).
+fn serving_qps(seed: u64, concurrency: usize) -> f64 {
+    const SCALE: f64 = 0.02;
+    const N_QUERIES: usize = 36;
+    let (db, wl) = build_workload(WorkloadName::Imdb, SCALE, N_QUERIES, seed).expect("workload");
+    let settings = BaoSettings {
+        model: ModelKind::TcnnFast,
+        window: N_QUERIES,
+        retrain: 12,
+        cache_features: false,
+        ..BaoSettings::default()
+    };
+    let cfg = RunConfig {
+        seed,
+        stats_sample: 400,
+        ..RunConfig::new(bao_cloud::N1_4, Strategy::Bao(settings))
+    };
+    let report = ServingRunner::new(cfg, db, ServingConfig::new(concurrency, concurrency))
+        .run(&wl)
+        .expect("serving run");
+    report.queries_per_sec()
+}
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.has("quick");
+    let gate = args.has("gate");
+    let update = args.has("update-baseline");
+    let seed = args.seed();
+    let scale = args.scale(0.03);
+    let samples = if quick { 6 } else { 20 };
+
+    print_header(
+        "Concurrent serving benchmark",
+        &format!("(IMDb scale {scale}, {samples} samples{})", if quick { ", quick" } else { "" }),
+    );
+
+    // --- Coalesced scoring: a wave of 8 arm families, serial per-query
+    // scorer vs the serving engine's single coalesced pass.
+    let per_query = arm_trees(seed, scale, WAVE);
+    assert!(per_query.iter().all(|q| q.len() == 49), "expected 49-arm families");
+    let input_dim = per_query[0][0].feat_dim;
+    let net = TreeCnn::new(TcnnConfig::small(input_dim), seed);
+    let per_refs: Vec<Vec<&FeatTree>> =
+        per_query.iter().map(|q| q.iter().collect()).collect();
+    let all_refs: Vec<&FeatTree> = per_query.iter().flatten().collect();
+
+    let group = Group::new("serving_score", samples);
+    let serial = group.bench_stats(&format!("per_query_x{WAVE}"), || {
+        for q in &per_refs {
+            std::hint::black_box(net.predict_batch(q));
+        }
+    });
+    let mut scratch = ScoreScratch::new();
+    let coalesced = group.bench_stats(&format!("coalesced_{}", all_refs.len()), || {
+        std::hint::black_box(net.predict_trees_scratch(&all_refs, &mut scratch));
+    });
+    let speedup = serial.trimmed_mean / coalesced.trimmed_mean;
+    // Telemetry from the engine: how much of the wave was duplicate arms.
+    let (scored, requested) = (scratch.last_scored, scratch.last_requested);
+    let distinct_frac = scored as f64 / requested.max(1) as f64;
+    println!();
+    println!(
+        "wave of {WAVE} queries ({} trees, {} distinct plans = {:.0}%):",
+        requested,
+        scored,
+        distinct_frac * 100.0
+    );
+    println!(
+        "  serial per-query scoring {:.3} ms, coalesced wave {:.3} ms -> {:.2}x",
+        serial.trimmed_mean * 1e3,
+        coalesced.trimmed_mean * 1e3,
+        speedup
+    );
+
+    // --- End-to-end serving throughput (simulated, deterministic).
+    println!();
+    let mut qps = Vec::new();
+    for &c in &[1usize, 4, 8] {
+        let v = serving_qps(seed, c);
+        println!("serving concurrency {c}: {v:.1} queries/sec (simulated)");
+        qps.push((c, v));
+    }
+
+    // --- Baseline comparison. Gated: the machine-independent coalesced
+    // scoring ratio. Warn-only: simulated throughputs (workload-shaped)
+    // and the dedup rate (workload-shaped).
+    let path = baseline_path();
+    let mut store = BaselineStore::load(&path).expect("load baselines");
+    let gated = [("serving_coalesced_speedup_c8", speedup)];
+    let warned = [
+        ("serving_qps_c1", qps[0].1),
+        ("serving_qps_c4", qps[1].1),
+        ("serving_qps_c8", qps[2].1),
+        ("serving_distinct_plan_frac", distinct_frac),
+        (
+            "serving_coalesced_plans_per_sec",
+            requested as f64 / coalesced.trimmed_mean,
+        ),
+    ];
+    println!();
+    let mut regression = false;
+    for (name, value) in gated.iter().chain(warned.iter()) {
+        let is_gated = gated.iter().any(|(g, _)| g == name);
+        match store.compare(name, *value, TOLERANCE) {
+            Comparison::New => {
+                println!("baseline {name}: recorded {value:.3} (new)");
+                store.record(name, *value);
+            }
+            Comparison::Ok { ratio } => {
+                println!("baseline {name}: {value:.3} ({:.0}% of baseline) ok", ratio * 100.0);
+                if update {
+                    store.record(name, *value);
+                }
+            }
+            Comparison::Regressed { ratio } => {
+                println!(
+                    "WARNING: {name} regressed to {value:.3} ({:.0}% of baseline{})",
+                    ratio * 100.0,
+                    if is_gated { ", gated" } else { "" }
+                );
+                if is_gated {
+                    regression = true;
+                }
+                if update {
+                    store.record(name, *value);
+                }
+            }
+        }
+    }
+    store.save().expect("save baselines");
+
+    println!();
+    let target_ok = speedup >= MIN_COALESCED_SPEEDUP;
+    println!(
+        "coalesced wave scoring {:.2}x serial per-query (target >= {:.1}x): {}",
+        speedup,
+        MIN_COALESCED_SPEEDUP,
+        if target_ok { "PASS" } else { "FAIL" }
+    );
+    if gate && (regression || !target_ok) {
+        eprintln!("serving bench gate failed");
+        std::process::exit(1);
+    }
+}

@@ -3,13 +3,15 @@
 
 use crate::experience::Experience;
 use crate::featurize::Featurizer;
-use bao_common::{split_seed, Result};
+use bao_common::{split_seed, BaoError, Result};
 use bao_models::{bootstrap_sample, TcnnModel, ValueModel};
 use bao_nn::FeatTree;
 use bao_opt::{HintSet, Optimizer, PlanOutput};
 use bao_plan::{PlanNode, Query};
 use bao_stats::StatsCatalog;
 use bao_storage::{BufferPool, Database};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Bao configuration (paper §6.1 defaults: 48/49 arms, window k = 2000,
@@ -146,12 +148,29 @@ impl Bao {
         self.model.is_fitted()
     }
 
+    /// `(trees scored, trees requested)` by the model's most recent
+    /// coalesced scoring pass — surfaces the duplicate-plan elimination
+    /// rate to serving telemetry. `None` for models without an engine.
+    pub fn coalesce_stats(&self) -> Option<(usize, usize)> {
+        self.model.coalesce_stats()
+    }
+
     pub fn experience_len(&self) -> usize {
         self.experience.len()
     }
 
     pub fn retrains(&self) -> usize {
         self.retrains
+    }
+
+    /// How many more observations [`Bao::observe`] will accept before one
+    /// of them triggers a retrain (always ≥ 1: the boundary observation
+    /// itself is scored against the *pre*-retrain model, so it may still
+    /// join a coalesced scoring batch). Serving layers must not coalesce
+    /// queries across this boundary — the model they would be scored with
+    /// changes underneath them.
+    pub fn queries_until_retrain(&self) -> usize {
+        self.cfg.retrain_interval.saturating_sub(self.since_retrain).max(1)
     }
 
     /// Predict performance of an arbitrary featurized plan (advisor mode
@@ -196,7 +215,8 @@ impl Bao {
 
     /// Plan and predict every arm; returns the winning selection plus the
     /// full per-arm (plan, tree) list (advisor mode and the experiment
-    /// harness's oracle both need it).
+    /// harness's oracle both need it). Single-query case of
+    /// [`Bao::evaluate_arms_multi`].
     pub fn evaluate_arms(
         &self,
         opt: &Optimizer,
@@ -205,81 +225,203 @@ impl Bao {
         cat: &StatsCatalog,
         pool: Option<&BufferPool>,
     ) -> Result<(Selection, Vec<(PlanNode, FeatTree)>)> {
-        let outputs: Vec<PlanOutput> = if self.cfg.parallel_planning
-            && self.cfg.arms.len() > 1
-        {
-            // One planner invocation per arm, fanned out over threads.
-            // Planning is read-only over (query, db, cat), so arms are
-            // embarrassingly parallel; results come back in arm order.
-            let results: Vec<Result<PlanOutput>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .cfg
-                    .arms
-                    .iter()
-                    .map(|&arm| scope.spawn(move || opt.plan(query, db, cat, arm)))
-                    .collect();
-                handles
-                    .into_iter()
-                    // A panicking planner thread carries a real bug's
-                    // panic payload; re-raising it here is the correct
-                    // propagation. bao-lint: allow(no-panic-path)
-                    .map(|h| h.join().expect("planner thread"))
-                    .collect()
-            });
-            results.into_iter().collect::<Result<Vec<_>>>()?
-        } else {
-            let mut outputs = Vec::with_capacity(self.cfg.arms.len());
-            for &arm in &self.cfg.arms {
-                outputs.push(opt.plan(query, db, cat, arm)?);
-            }
-            outputs
-        };
-        let planning_work: u64 = outputs.iter().map(|o| o.work).sum();
-        let per_arm_work: Vec<u64> = outputs.iter().map(|o| o.work).collect();
-        // Hinted plans carry `disable_cost` penalties in their estimates
-        // when a hint cannot be fully honoured; re-annotate with
+        let mut multi = self.evaluate_arms_multi(opt, &[query], db, cat, pool)?;
+        multi
+            .pop()
+            .ok_or_else(|| BaoError::Planning("evaluate_arms_multi returned no result".into()))
+    }
+
+    /// Plan every (query, arm) pair on a deterministic worker pool and
+    /// score *all* queries' arm families in one coalesced `predict_batch`
+    /// pass (cross-query batching, the serving-layer hot path). Results
+    /// are returned in query order and are bit-identical to calling
+    /// [`Bao::evaluate_arms`] once per query: planning is read-only over
+    /// `(query, db, cat)`, job results are re-slotted into (query, arm)
+    /// order before any reduction, and the packed forward pass is
+    /// batch-composition invariant (every kernel is per-node or per-tree,
+    /// so a tree's prediction does not depend on its batch neighbours).
+    ///
+    /// The `pool` snapshot is shared by every query in the batch; callers
+    /// that enable cache features must therefore coalesce only queries
+    /// whose featurization may legally observe the same buffer-pool state
+    /// (the serving runner clamps its window to 1 in that mode).
+    pub fn evaluate_arms_multi(
+        &self,
+        opt: &Optimizer,
+        queries: &[&Query],
+        db: &Database,
+        cat: &StatsCatalog,
+        pool: Option<&BufferPool>,
+    ) -> Result<Vec<(Selection, Vec<(PlanNode, FeatTree)>)>> {
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let n_arms = self.cfg.arms.len();
+        let outputs = self.plan_jobs(opt, queries, db, cat)?;
+
+        // Annotate, verify, and featurize in strict (query, arm) slot
+        // order. Hinted plans carry `disable_cost` penalties in their
+        // estimates when a hint cannot be fully honoured; re-annotate with
         // penalty-free estimates so the model's cost/cardinality features
         // reflect expected runtime rather than planner bookkeeping.
-        let mut pairs: Vec<(PlanNode, FeatTree)> = Vec::with_capacity(outputs.len());
-        for o in outputs {
-            let mut root = o.root;
-            bao_opt::annotate_estimates(&mut root, query, db, cat, opt.estimator(), &opt.params)?;
-            // Re-annotation must preserve well-formedness; arms whose
-            // features would be malformed are a training-data hazard.
-            #[cfg(debug_assertions)]
-            bao_plan::verify::verify(&root, query, db)?;
-            let tree = self.featurizer.featurize(&root, query, db, pool);
-            pairs.push((root, tree));
+        let mut per_query: Vec<Vec<(PlanNode, FeatTree)>> = Vec::with_capacity(queries.len());
+        let mut work: Vec<Vec<u64>> = Vec::with_capacity(queries.len());
+        let mut outputs = outputs.into_iter();
+        for &query in queries {
+            let mut pairs: Vec<(PlanNode, FeatTree)> = Vec::with_capacity(n_arms);
+            let mut per_arm_work: Vec<u64> = Vec::with_capacity(n_arms);
+            for o in outputs.by_ref().take(n_arms) {
+                per_arm_work.push(o.work);
+                let mut root = o.root;
+                bao_opt::annotate_estimates(
+                    &mut root,
+                    query,
+                    db,
+                    cat,
+                    opt.estimator(),
+                    &opt.params,
+                )?;
+                // Re-annotation must preserve well-formedness; arms whose
+                // features would be malformed are a training-data hazard.
+                #[cfg(debug_assertions)]
+                bao_plan::verify::verify(&root, query, db)?;
+                let tree = self.featurizer.featurize(&root, query, db, pool);
+                pairs.push((root, tree));
+            }
+            per_query.push(pairs);
+            work.push(per_arm_work);
         }
-        // Score all arms in one packed batch — a single forward pass over
-        // the concatenated plan trees instead of 49 per-tree matvec loops.
-        let arm_trees: Vec<&FeatTree> = pairs.iter().map(|(_, t)| t).collect();
-        let predictions: Vec<Option<f64>> = match self.model.predict_batch(&arm_trees) {
-            Ok(preds) => preds.into_iter().map(Some).collect(),
-            Err(_) => vec![None; pairs.len()],
+
+        // Score every query's arms in ONE batch — a single forward pass
+        // over queries.len() * n_arms concatenated plan trees. Multi-query
+        // waves go through the model's coalesced engine (for the TCNN:
+        // tape-free fused kernels plus duplicate-plan elimination, bitwise
+        // identical to `predict_batch` per tree); the single-query case —
+        // the serial `select_plan` path — stays on the stateless reference
+        // scorer it has always used. The coalesced predictions are
+        // segmented back per query; on model error fall back to per-query
+        // batches so a single-query caller sees exactly the error
+        // semantics it would see alone.
+        let all_trees: Vec<&FeatTree> =
+            per_query.iter().flat_map(|pairs| pairs.iter().map(|(_, t)| t)).collect();
+        let coalesced: Option<Vec<f64>> = if queries.len() > 1 {
+            self.model.predict_batch_coalesced(&all_trees).ok()
+        } else {
+            self.model.predict_batch(&all_trees).ok()
         };
-        let best = predictions
-            .iter()
-            .enumerate()
-            .filter_map(|(i, p)| p.map(|v| (i, v)))
-            .min_by(|a, b| a.1.total_cmp(&b.1))
-            .map(|(i, _)| i)
-            .unwrap_or(0);
-        let (plan, tree) = pairs[best].clone();
-        let arms_planned = pairs.len();
-        Ok((
-            Selection {
-                arm: best,
-                hints: self.cfg.arms[best],
-                plan,
-                tree,
-                predictions,
-                planning_work,
-                per_arm_work,
-                arms_planned,
-            },
-            pairs,
-        ))
+
+        let mut results = Vec::with_capacity(queries.len());
+        for (qi, pairs) in per_query.into_iter().enumerate() {
+            let predictions: Vec<Option<f64>> = match &coalesced {
+                Some(preds) => preds[qi * n_arms..(qi + 1) * n_arms]
+                    .iter()
+                    .map(|&v| Some(v))
+                    .collect(),
+                None => {
+                    let arm_trees: Vec<&FeatTree> = pairs.iter().map(|(_, t)| t).collect();
+                    match self.model.predict_batch(&arm_trees) {
+                        Ok(preds) => preds.into_iter().map(Some).collect(),
+                        Err(_) => vec![None; pairs.len()],
+                    }
+                }
+            };
+            let best = predictions
+                .iter()
+                .enumerate()
+                .filter_map(|(i, p)| p.map(|v| (i, v)))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            let (plan, tree) = pairs[best].clone();
+            results.push((
+                Selection {
+                    arm: best,
+                    hints: self.cfg.arms[best],
+                    plan,
+                    tree,
+                    predictions,
+                    planning_work: work[qi].iter().sum(),
+                    per_arm_work: work[qi].clone(),
+                    arms_planned: pairs.len(),
+                },
+                pairs,
+            ));
+        }
+        Ok(results)
+    }
+
+    /// Plan all `queries.len() * arms.len()` jobs, returned flat in
+    /// (query-major, arm-minor) slot order. With `parallel_planning` the
+    /// jobs run on a pool of workers sized to the host (paper §6.2: "Bao
+    /// makes heavy use of parallelism, concurrently planning each arm");
+    /// each result is tagged with its slot and re-slotted before return,
+    /// so worker count and scheduling never affect output order — the
+    /// same determinism-by-construction pattern as `bao_nn::train`'s
+    /// sharded gradient reduction.
+    fn plan_jobs(
+        &self,
+        opt: &Optimizer,
+        queries: &[&Query],
+        db: &Database,
+        cat: &StatsCatalog,
+    ) -> Result<Vec<PlanOutput>> {
+        let arms = &self.cfg.arms;
+        let n_jobs = queries.len() * arms.len();
+        if !self.cfg.parallel_planning || n_jobs <= 1 {
+            let mut outputs = Vec::with_capacity(n_jobs);
+            for &query in queries {
+                for &arm in arms {
+                    outputs.push(opt.plan(query, db, cat, arm)?);
+                }
+            }
+            return Ok(outputs);
+        }
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(n_jobs);
+        let mut slots: Vec<Option<Result<PlanOutput>>> = Vec::with_capacity(n_jobs);
+        slots.resize_with(n_jobs, || None);
+        let (job_tx, job_rx) = mpsc::channel::<usize>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let (res_tx, res_rx) = mpsc::channel::<(usize, Result<PlanOutput>)>();
+        for slot in 0..n_jobs {
+            // Receiver outlives this loop; send cannot fail here.
+            let _ = job_tx.send(slot);
+        }
+        drop(job_tx);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let job_rx = Arc::clone(&job_rx);
+                let res_tx = res_tx.clone();
+                scope.spawn(move || loop {
+                    // A poisoned lock means a sibling worker panicked
+                    // (a real planner bug); stop pulling work and let
+                    // the scope re-raise the original panic.
+                    let slot = match job_rx.lock() {
+                        Ok(rx) => match rx.recv() {
+                            Ok(s) => s,
+                            Err(_) => break,
+                        },
+                        Err(_) => break,
+                    };
+                    let out = opt.plan(queries[slot / arms.len()], db, cat, arms[slot % arms.len()]);
+                    if res_tx.send((slot, out)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(res_tx);
+            for (slot, out) in res_rx {
+                slots[slot] = Some(out);
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| {
+                s.ok_or_else(|| BaoError::Planning("planner worker dropped a job".into()))?
+            })
+            .collect()
     }
 
     /// Record an observed (plan, performance) pair and retrain when the

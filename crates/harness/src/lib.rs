@@ -8,9 +8,11 @@
 pub mod armstats;
 pub mod oracle;
 pub mod runner;
+pub mod serving;
 
 pub use armstats::{plan_change_stats, PlanChanges};
 pub use oracle::{exhaustive_arm_perfs, regret_of};
 pub use runner::{
     run_once, BaoSettings, ModelKind, QueryRecord, RunConfig, RunResult, Runner, Strategy,
 };
+pub use serving::{ServingConfig, ServingReport, ServingRunner};

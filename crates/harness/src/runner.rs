@@ -239,13 +239,17 @@ impl RunResult {
 }
 
 /// Drives one workload under one configuration.
+///
+/// Fields are crate-visible so the concurrent serving layer
+/// (`crate::serving`) can reuse this exact construction and drive the
+/// same state machine wave-by-wave.
 pub struct Runner {
-    cfg: RunConfig,
-    db: Database,
-    cat: StatsCatalog,
-    pool: BufferPool,
-    opt: Optimizer,
-    bao: Option<Bao>,
+    pub(crate) cfg: RunConfig,
+    pub(crate) db: Database,
+    pub(crate) cat: StatsCatalog,
+    pub(crate) pool: BufferPool,
+    pub(crate) opt: Optimizer,
+    pub(crate) bao: Option<Bao>,
 }
 
 impl Runner {
@@ -291,6 +295,28 @@ impl Runner {
         &self.db
     }
 
+    /// Apply step `idx`'s workload event, if any: mutate the database,
+    /// re-analyze statistics with the step-indexed seed, and invalidate
+    /// the buffer pool. Shared verbatim by the serial loop below and the
+    /// wave loop in `crate::serving` so the two paths cannot drift.
+    pub(crate) fn apply_step_event(
+        &mut self,
+        idx: usize,
+        step: &bao_workloads::WorkloadStep,
+    ) -> Result<()> {
+        if let Some(ev) = &step.event {
+            apply_event(&mut self.db, ev, split_seed(self.cfg.seed, 77))?;
+            self.cat = StatsCatalog::analyze(
+                &self.db,
+                self.cfg.stats_sample,
+                split_seed(self.cfg.seed, 78 + idx as u64),
+            );
+            // New/rebuilt objects invalidate prior cache contents.
+            self.pool.clear();
+        }
+        Ok(())
+    }
+
     /// Execute the full workload.
     pub fn run(mut self, workload: &Workload) -> Result<RunResult> {
         let mut records = Vec::with_capacity(workload.len());
@@ -301,16 +327,7 @@ impl Runner {
         let mut wall_train = std::time::Duration::ZERO;
 
         for (idx, step) in workload.steps.iter().enumerate() {
-            if let Some(ev) = &step.event {
-                apply_event(&mut self.db, ev, split_seed(self.cfg.seed, 77))?;
-                self.cat = StatsCatalog::analyze(
-                    &self.db,
-                    self.cfg.stats_sample,
-                    split_seed(self.cfg.seed, 78 + idx as u64),
-                );
-                // New/rebuilt objects invalidate prior cache contents.
-                self.pool.clear();
-            }
+            self.apply_step_event(idx, step)?;
             if self.cfg.cold_cache {
                 self.pool.clear();
             }

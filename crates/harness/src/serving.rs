@@ -1,0 +1,302 @@
+//! Concurrent serving layer: admit several in-flight queries, coalesce
+//! their arm families into one cross-query scoring batch, and execute
+//! the selections in arrival order.
+//!
+//! The contract (pinned by `tests/serving_equivalence.rs`) is that a
+//! [`ServingRunner`] produces a [`RunResult`] *bit-identical* to the
+//! serial [`Runner::run`] path at any concurrency level or coalescing
+//! window. Determinism is by construction, not by luck — see the
+//! invariants on [`ServingRunner::run`] and DESIGN.md §9.
+
+use crate::runner::{QueryRecord, RunConfig, RunResult, Runner, Strategy};
+use bao_cloud::gpu_train_time;
+use bao_common::{Result, SimDuration};
+use bao_core::Selection;
+use bao_exec::execute;
+use bao_storage::Database;
+use bao_workloads::Workload;
+
+/// Knobs of the serving layer.
+#[derive(Debug, Clone, Copy)]
+pub struct ServingConfig {
+    /// Maximum number of queries admitted in flight at once (their
+    /// planning overlaps; execution stays serialized on the shared
+    /// buffer pool, exactly as a single-writer storage engine would).
+    pub concurrency: usize,
+    /// Maximum number of in-flight queries whose arm families are
+    /// coalesced into one cross-query `predict_batch` scoring pass.
+    pub coalesce_window: usize,
+}
+
+impl ServingConfig {
+    pub fn new(concurrency: usize, coalesce_window: usize) -> ServingConfig {
+        assert!(concurrency >= 1 && coalesce_window >= 1);
+        ServingConfig { concurrency, coalesce_window }
+    }
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        ServingConfig { concurrency: 4, coalesce_window: 4 }
+    }
+}
+
+/// [`RunResult`] plus serving-layer telemetry. The embedded `result` is
+/// byte-identical to the serial runner's; everything serving-specific
+/// lives outside it so the equivalence tests can compare raw JSON.
+#[derive(Debug, Clone)]
+pub struct ServingReport {
+    pub result: RunResult,
+    /// Number of admission waves the workload was processed in.
+    pub waves: usize,
+    /// Largest wave actually formed (≤ min(concurrency, window)).
+    pub max_wave: usize,
+    /// Total plan trees scored through coalesced cross-query batches.
+    pub coalesced_trees: usize,
+    /// True when cache features forced every wave down to size 1 (the
+    /// featurizer reads execution-order-dependent buffer-pool state, so
+    /// coalescing would change what the model sees — DESIGN.md §9).
+    pub clamped_by_cache_features: bool,
+    /// Simulated end-to-end serving time: per wave, in-flight queries
+    /// plan concurrently (max of their optimization times) while
+    /// execution stays serialized (sum of latencies). Machine-free, so
+    /// benchmarks derived from it transfer across hosts.
+    pub makespan: SimDuration,
+}
+
+impl ServingReport {
+    /// Simulated serving throughput over the whole workload.
+    pub fn queries_per_sec(&self) -> f64 {
+        let secs = self.makespan.as_secs();
+        if secs > 0.0 {
+            self.result.records.len() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Drives one workload through the concurrent serving layer.
+///
+/// Wraps a [`Runner`] (same construction, same seeds, same state) and
+/// replays its state machine wave-by-wave instead of query-by-query.
+pub struct ServingRunner {
+    inner: Runner,
+    serving: ServingConfig,
+}
+
+impl ServingRunner {
+    pub fn new(cfg: RunConfig, db: Database, serving: ServingConfig) -> ServingRunner {
+        ServingRunner { inner: Runner::new(cfg, db), serving }
+    }
+
+    /// Override the buffer pool size (mirrors [`Runner::with_pool_pages`]).
+    pub fn with_pool_pages(mut self, pages: usize) -> ServingRunner {
+        self.inner = self.inner.with_pool_pages(pages);
+        self
+    }
+
+    /// Execute the full workload concurrently; the embedded `RunResult`
+    /// is bit-identical to [`Runner::run`] on the same config and seed.
+    ///
+    /// Waves are sized so that coalescing can never observe state the
+    /// serial path would not have produced yet:
+    ///
+    /// 1. A wave never spans a workload *event* step — events mutate the
+    ///    database, the statistics catalog, and the buffer pool before
+    ///    the step's query is planned.
+    /// 2. A wave never crosses a *retrain boundary* — the value model
+    ///    changes only inside `Bao::observe`, every
+    ///    `retrain_interval`-th observation, so all queries of a wave
+    ///    are scored by the same model the serial path would use
+    ///    (`Bao::queries_until_retrain` exposes the distance).
+    /// 3. With *cache features* enabled the featurizer reads buffer-pool
+    ///    state that depends on every preceding execution, so waves
+    ///    clamp to 1 (coalescing is a no-op, concurrency still applies
+    ///    to planning).
+    /// 4. Selections are computed by `Bao::evaluate_arms_multi`, whose
+    ///    planning fan-out re-slots worker results into (query, arm)
+    ///    order and whose packed forward pass is batch-composition
+    ///    invariant; execution and experience replay strictly in
+    ///    query-index order against the shared pool and clock.
+    pub fn run(self, workload: &Workload) -> Result<ServingReport> {
+        let ServingRunner { inner, serving } = self;
+        // Only Bao has an arm family to coalesce; the other strategies
+        // have no cross-query scoring stage, so the serial path already
+        // *is* the serving path for them.
+        if !matches!(inner.cfg.strategy, Strategy::Bao(_)) {
+            let n = workload.len();
+            let result = inner.run(workload)?;
+            let makespan = result.workload_time();
+            return Ok(ServingReport {
+                result,
+                waves: n,
+                max_wave: 1,
+                coalesced_trees: 0,
+                clamped_by_cache_features: false,
+                makespan,
+            });
+        }
+        run_bao_serving(inner, serving, workload)
+    }
+}
+
+fn run_bao_serving(
+    mut inner: Runner,
+    serving: ServingConfig,
+    workload: &Workload,
+) -> Result<ServingReport> {
+    let cache_clamp = match &inner.cfg.strategy {
+        Strategy::Bao(s) => s.cache_features,
+        // Reached only for Bao (checked by the caller).
+        _ => unreachable!("run_bao_serving requires Strategy::Bao"),
+    };
+    let wave_cap =
+        if cache_clamp { 1 } else { serving.concurrency.min(serving.coalesce_window).max(1) };
+
+    let mut records = Vec::with_capacity(workload.len());
+    let mut clock = SimDuration::ZERO;
+    let mut total_exec = SimDuration::ZERO;
+    let mut total_opt = SimDuration::ZERO;
+    let mut total_gpu = SimDuration::ZERO;
+    let mut wall_train = std::time::Duration::ZERO;
+    let mut makespan = SimDuration::ZERO;
+    let mut waves = 0usize;
+    let mut max_wave = 0usize;
+    let mut coalesced_trees = 0usize;
+
+    let steps = &workload.steps;
+    let mut idx = 0usize;
+    while idx < steps.len() {
+        // Invariant 1: events replay exactly where the serial loop
+        // applies them — at the head of their own wave.
+        inner.apply_step_event(idx, &steps[idx])?;
+        // Serial semantics clear the cache *before* planning; with cache
+        // features on (wave = 1, below) the featurizer must see the
+        // cleared pool exactly as the serial path does. For larger waves
+        // featurization never reads the pool, and the per-query clears
+        // happen in the replay loop instead.
+        if inner.cfg.cold_cache {
+            inner.pool.clear();
+        }
+
+        let bao = inner.bao.as_ref().expect("bao strategy has instance");
+        // Fallback mode (disabled or unfitted model) plans a single arm
+        // per query with no scoring stage; the fitted/unfitted flag can
+        // only flip at a retrain boundary, which invariant 2 already
+        // refuses to cross, so the whole wave is uniformly one mode.
+        let scored_mode = bao.cfg.enabled && bao.is_model_fitted();
+        let mut wave = wave_cap
+            .min(bao.queries_until_retrain()) // invariant 2
+            .min(steps.len() - idx);
+        // Invariant 1: stop the wave before the next event step.
+        for k in 1..wave {
+            if steps[idx + k].event.is_some() {
+                wave = k;
+                break;
+            }
+        }
+
+        // Coalesced selection: plan every (query, arm) job on the worker
+        // pool, score all arm families in one packed pass.
+        let selections: Vec<Selection> = if scored_mode {
+            let queries: Vec<&bao_plan::Query> =
+                steps[idx..idx + wave].iter().map(|s| &s.query).collect();
+            let multi = bao.evaluate_arms_multi(
+                &inner.opt,
+                &queries,
+                &inner.db,
+                &inner.cat,
+                Some(&inner.pool),
+            )?;
+            coalesced_trees += wave * bao.cfg.arms.len();
+            multi.into_iter().map(|(sel, _)| sel).collect()
+        } else {
+            let mut sels = Vec::with_capacity(wave);
+            for step in &steps[idx..idx + wave] {
+                sels.push(bao.select_plan(
+                    &inner.opt,
+                    &step.query,
+                    &inner.db,
+                    &inner.cat,
+                    Some(&inner.pool),
+                )?);
+            }
+            sels
+        };
+
+        // Serving clock: the wave's queries plan concurrently, so the
+        // wave costs its slowest optimization plus serialized execution.
+        let mut wave_opt_max = SimDuration::ZERO;
+        let mut wave_exec = SimDuration::ZERO;
+
+        // Invariant 4: execute + observe strictly in query-index order
+        // against the shared pool; this is where the serial clock,
+        // experience ordering, and retrain schedule are reproduced.
+        for (k, sel) in selections.into_iter().enumerate() {
+            let step = &steps[idx + k];
+            // The k = 0 clear already ran before planning (above); the
+            // pool is untouched since, so this repeat is a no-op there
+            // and reproduces the serial per-query clear for k > 0.
+            if inner.cfg.cold_cache {
+                inner.pool.clear();
+            }
+            let opt_time =
+                inner.cfg.vm.optimization_time(&sel.per_arm_work, inner.cfg.sequential_arms);
+            let metrics = execute(
+                &sel.plan,
+                &step.query,
+                &inner.db,
+                &mut inner.pool,
+                &inner.opt.params,
+                &inner.cfg.vm.charge_rates(),
+            )?;
+            let perf = metrics.perf(inner.cfg.metric);
+
+            let mut gpu_time = SimDuration::ZERO;
+            if let Some(bao) = inner.bao.as_mut() {
+                if let Some(report) = bao.observe(sel.tree.clone(), perf) {
+                    gpu_time = gpu_train_time(report.experience_size, report.epochs.max(1));
+                    wall_train += report.wall;
+                }
+            }
+
+            clock += opt_time + metrics.latency;
+            total_exec += metrics.latency;
+            total_opt += opt_time;
+            total_gpu += gpu_time;
+            if opt_time > wave_opt_max {
+                wave_opt_max = opt_time;
+            }
+            wave_exec += metrics.latency;
+            records.push(QueryRecord {
+                idx: idx + k,
+                label: step.label.clone(),
+                arm: sel.arm,
+                opt_time,
+                latency: metrics.latency,
+                cpu_time: metrics.cpu_time,
+                physical_io: metrics.page_misses,
+                perf,
+                clock,
+                gpu_time,
+                arm_perfs: None,
+                plan: sel.plan,
+            });
+        }
+
+        makespan += wave_opt_max + wave_exec;
+        waves += 1;
+        max_wave = max_wave.max(wave);
+        idx += wave;
+    }
+
+    Ok(ServingReport {
+        result: RunResult { records, total_exec, total_opt, total_gpu, wall_train },
+        waves,
+        max_wave,
+        coalesced_trees,
+        clamped_by_cache_features: cache_clamp && serving.coalesce_window > 1,
+        makespan,
+    })
+}

@@ -18,6 +18,12 @@
 //!   `bao_nn::layers`) must hoist scratch buffers out of their hot loops;
 //!   `vec![` / `Vec::with_capacity` inside a `for` body there is a
 //!   per-node allocation the batching work exists to eliminate.
+//! * `no-unseeded-rng` — every random draw must trace back to an explicit
+//!   seed (`bao_common::rng_from_seed` / `split_seed`); entropy-seeded
+//!   sources (`thread_rng`, `from_entropy`, `rand::random`, std's
+//!   `RandomState`) would silently break replay, the serving-equivalence
+//!   suite, and Thompson-sampling reproducibility. Applies everywhere,
+//!   tests included — the determinism suite is itself seeded.
 //! * `hermetic-manifest` — every manifest dependency must be a local
 //!   `path` crate (see [`crate::manifest`]).
 //!
@@ -36,16 +42,18 @@ pub enum RuleId {
     NoUnsafe,
     NoPanicPath,
     NoPerNodeAlloc,
+    NoUnseededRng,
     HermeticManifest,
 }
 
 impl RuleId {
-    pub const ALL: [RuleId; 6] = [
+    pub const ALL: [RuleId; 7] = [
         RuleId::NoWallClock,
         RuleId::NoHashIterOrder,
         RuleId::NoUnsafe,
         RuleId::NoPanicPath,
         RuleId::NoPerNodeAlloc,
+        RuleId::NoUnseededRng,
         RuleId::HermeticManifest,
     ];
 
@@ -56,6 +64,7 @@ impl RuleId {
             RuleId::NoUnsafe => "no-unsafe",
             RuleId::NoPanicPath => "no-panic-path",
             RuleId::NoPerNodeAlloc => "no-per-node-alloc",
+            RuleId::NoUnseededRng => "no-unseeded-rng",
             RuleId::HermeticManifest => "hermetic-manifest",
         }
     }
@@ -79,6 +88,9 @@ impl RuleId {
             }
             RuleId::NoPerNodeAlloc => {
                 "vec!/Vec::with_capacity inside a for loop in an nn kernel file"
+            }
+            RuleId::NoUnseededRng => {
+                "entropy-seeded randomness (thread_rng/from_entropy/RandomState)"
             }
             RuleId::HermeticManifest => "non-path dependency in a Cargo.toml",
         }
@@ -117,6 +129,9 @@ pub fn applies_to(rule: RuleId, path: &str) -> bool {
         RuleId::NoUnsafe => path != UNSAFE_ALLOWED,
         RuleId::NoPanicPath => in_any(path, &QUERY_PATH_CRATES),
         RuleId::NoPerNodeAlloc => KERNEL_FILES.contains(&path),
+        // Seeded randomness is a workspace-wide invariant: tests and
+        // benches replay too, so nothing is exempt.
+        RuleId::NoUnseededRng => true,
         RuleId::HermeticManifest => false, // manifest rule, not a source rule
     }
 }
@@ -160,6 +175,12 @@ fn patterns(rule: RuleId) -> &'static [Pattern] {
         RuleId::NoPerNodeAlloc => &[
             Pattern { needle: "vec![", word: true },
             Pattern { needle: "Vec::with_capacity", word: true },
+        ],
+        RuleId::NoUnseededRng => &[
+            Pattern { needle: "thread_rng", word: true },
+            Pattern { needle: "from_entropy", word: true },
+            Pattern { needle: "rand::random", word: true },
+            Pattern { needle: "RandomState", word: true },
         ],
         RuleId::HermeticManifest => &[],
     }
@@ -276,6 +297,10 @@ mod tests {
         assert!(applies_to(RuleId::NoPerNodeAlloc, "crates/nn/src/param.rs"));
         assert!(applies_to(RuleId::NoPerNodeAlloc, "crates/nn/src/layers.rs"));
         assert!(!applies_to(RuleId::NoPerNodeAlloc, "crates/nn/src/net.rs"));
+        // Seeded randomness is workspace-wide: even the wall-clock-exempt
+        // timing harness is in scope.
+        assert!(applies_to(RuleId::NoUnseededRng, "crates/bench/src/timing.rs"));
+        assert!(applies_to(RuleId::NoUnseededRng, "crates/nn/src/train.rs"));
     }
 
     #[test]

@@ -1,0 +1,27 @@
+//! Fixture for `no-unseeded-rng`: every random draw must trace back to
+//! an explicit seed.
+
+fn bad() {
+    let mut rng = rand::thread_rng();
+    let coin: u64 = rand::random();
+    let fork = Xoshiro256::from_entropy();
+    let hasher = std::collections::hash_map::RandomState::new();
+}
+
+fn good(seed: u64) {
+    let mut rng = rng_from_seed(seed);
+    let child = split_seed(seed, 1);
+    // thread_rng in a comment is not a finding
+    let s = "from_entropy inside a string literal";
+    let similar = my_thread_rng_helper();
+    // bao-lint: allow(no-unseeded-rng)
+    let audited = Replay::thread_rng();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_are_seeded_too() {
+        let mut rng = thread_rng();
+    }
+}

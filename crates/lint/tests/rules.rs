@@ -94,6 +94,30 @@ fn no_per_node_alloc_fires_at_exact_lines() {
 }
 
 #[test]
+fn no_unseeded_rng_fires_at_exact_lines() {
+    let src = include_str!("fixtures/no_unseeded_rng.rs");
+    // Lines 5-8: thread_rng / rand::random / from_entropy / RandomState.
+    // Seeded draws (12-13), comment/string decoys (14-15), the lookalike
+    // identifier (16), and the pragma'd site (18) stay silent; the
+    // #[cfg(test)] module (25) still fires — the determinism suite must
+    // be seeded too.
+    assert_eq!(
+        lines_for(RuleId::NoUnseededRng, "crates/core/src/fixture.rs", src),
+        vec![5, 6, 7, 8, 25]
+    );
+    // No module is exempt: not the timing harness (which no-wall-clock
+    // exempts) and not integration-test targets.
+    assert_eq!(
+        lines_for(RuleId::NoUnseededRng, "crates/bench/src/timing.rs", src),
+        vec![5, 6, 7, 8, 25]
+    );
+    assert_eq!(
+        lines_for(RuleId::NoUnseededRng, "crates/plan/tests/fixture.rs", src),
+        vec![5, 6, 7, 8, 25]
+    );
+}
+
+#[test]
 fn allow_file_pragma_waives_whole_file() {
     let src = format!(
         "// bao-lint: allow-file(no-panic-path)\n{}",

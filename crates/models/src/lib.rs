@@ -50,6 +50,23 @@ pub trait ValueModel: Send {
         trees.iter().map(|t| self.predict(t)).collect()
     }
 
+    /// Predict performance for a *coalesced* forest — many queries' arm
+    /// families concatenated into one batch by the serving layer. Must
+    /// return exactly what [`ValueModel::predict_batch`] would (the
+    /// serving layer's bit-identity contract rests on it); models with a
+    /// dedicated inference engine (TCNN) override this to score through
+    /// it. The default simply delegates.
+    fn predict_batch_coalesced(&self, trees: &[&FeatTree]) -> Result<Vec<f64>> {
+        self.predict_batch(trees)
+    }
+
+    /// `(trees scored, trees requested)` by the most recent coalesced
+    /// call — serving telemetry exposing the duplicate-elimination rate.
+    /// `None` for models without an engine (or before any coalesced call).
+    fn coalesce_stats(&self) -> Option<(usize, usize)> {
+        None
+    }
+
     fn is_fitted(&self) -> bool;
 
     /// Epochs run by the most recent `fit` (0 for models without an epoch

@@ -4,7 +4,8 @@ use crate::norm::TargetNorm;
 use crate::ValueModel;
 use bao_common::json::{self, Json, ToJson};
 use bao_common::{BaoError, Result};
-use bao_nn::{train, FeatTree, TcnnConfig, TrainConfig, TreeCnn};
+use bao_nn::{train, FeatTree, ScoreScratch, TcnnConfig, TrainConfig, TreeCnn};
+use std::sync::Mutex;
 
 /// Tree-CNN predictor: trains from scratch on each `fit` (each Thompson
 /// resample draws fresh weights), on standardized log targets.
@@ -12,7 +13,7 @@ use bao_nn::{train, FeatTree, TcnnConfig, TrainConfig, TreeCnn};
 /// Serializable: [`TcnnModel::to_json`]/[`TcnnModel::from_json`] persist a
 /// trained model (weights + target normalization) so a deployment can
 /// restart without retraining — the paper's low-integration-cost story.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct TcnnModel {
     cfg: TcnnConfig,
     train_cfg: TrainConfig,
@@ -21,11 +22,37 @@ pub struct TcnnModel {
     /// Epochs run by the most recent fit (surfaced for the Figure 15c
     /// training-time accounting).
     pub last_epochs: usize,
+    /// Inference arena for the coalesced scoring path. Interior
+    /// mutability keeps [`ValueModel::predict_batch_coalesced`] `&self`
+    /// like every other predict; a poisoned lock (a panic mid-score)
+    /// falls back to the stateless tape path rather than erroring.
+    scratch: Mutex<ScoreScratch>,
+}
+
+impl Clone for TcnnModel {
+    fn clone(&self) -> TcnnModel {
+        TcnnModel {
+            cfg: self.cfg,
+            train_cfg: self.train_cfg,
+            net: self.net.clone(),
+            norm: self.norm,
+            last_epochs: self.last_epochs,
+            // Scratch is pure cache; a clone starts with a fresh one.
+            scratch: Mutex::new(ScoreScratch::new()),
+        }
+    }
 }
 
 impl TcnnModel {
     pub fn new(cfg: TcnnConfig, train_cfg: TrainConfig) -> TcnnModel {
-        TcnnModel { cfg, train_cfg, net: None, norm: None, last_epochs: 0 }
+        TcnnModel {
+            cfg,
+            train_cfg,
+            net: None,
+            norm: None,
+            last_epochs: 0,
+            scratch: Mutex::new(ScoreScratch::new()),
+        }
     }
 
     /// Reduced-width default (see [`TcnnConfig::small`]).
@@ -59,6 +86,7 @@ impl TcnnModel {
                 net: json::field(&j, "net")?,
                 norm: json::field(&j, "norm")?,
                 last_epochs: json::field(&j, "last_epochs")?,
+                scratch: Mutex::new(ScoreScratch::new()),
             })
         };
         let mut m = decode().map_err(|e| BaoError::Config(format!("parse: {e}")))?;
@@ -99,6 +127,28 @@ impl ValueModel for TcnnModel {
             _ => return Err(BaoError::ModelNotFitted),
         };
         Ok(net.predict_batch(trees).into_iter().map(|p| norm.inverse(p as f64)).collect())
+    }
+
+    /// Coalesced scoring through the tape-free inference engine
+    /// (`bao_nn::infer`): fused kernels, persistent scratch, duplicate
+    /// plans scored once. Bitwise identical to [`TcnnModel::predict_batch`]
+    /// per tree (the engine's contract), so callers may mix the two paths
+    /// freely without breaking serving determinism.
+    fn predict_batch_coalesced(&self, trees: &[&FeatTree]) -> Result<Vec<f64>> {
+        let (net, norm) = match (&self.net, &self.norm) {
+            (Some(n), Some(m)) => (n, m),
+            _ => return Err(BaoError::ModelNotFitted),
+        };
+        let preds = match self.scratch.lock() {
+            Ok(mut s) => net.predict_trees_scratch(trees, &mut s),
+            Err(_) => net.predict_batch(trees),
+        };
+        Ok(preds.into_iter().map(|p| norm.inverse(p as f64)).collect())
+    }
+
+    fn coalesce_stats(&self) -> Option<(usize, usize)> {
+        let s = self.scratch.lock().ok()?;
+        (s.last_requested > 0).then_some((s.last_scored, s.last_requested))
     }
 
     fn is_fitted(&self) -> bool {

@@ -1,0 +1,487 @@
+//! Tape-free inference over forests of feature trees — the scoring
+//! engine behind the serving layer's cross-query coalesced waves.
+//!
+//! [`TreeCnn::predict_batch`] shares its forward pass with training:
+//! the trees are first *packed* (every feature row copied into one
+//! node-major buffer, child indices rebased), then every layer
+//! materializes a full-batch activation plus the layer-norm caches
+//! (`xhat`, `inv_std`) into a `BatchTape`, and ReLU allocates a fresh
+//! buffer so the output can double as the backward mask. For one query's
+//! 49-arm batch that working set is cache-resident and the overhead is
+//! noise. A serving wave coalesces many queries (8 × 49 arms ≈ 400
+//! trees, ~10k nodes): the same forward pass then copies megabytes in
+//! the pack and streams ~4 full-size buffers per layer through memory —
+//! measurably *slower* per tree than scoring the queries one by one.
+//!
+//! [`ScoreScratch`] + [`TreeCnn::predict_trees_scratch`] fix this
+//! structurally:
+//!
+//! * **no pack** — trees are scored straight out of their own feature
+//!   buffers; child indices are tree-local already, so nothing is copied
+//!   or rebased;
+//! * **no tape** — inference keeps nothing for backward: each
+//!   convolution layer is fully fused per node (bias, the three conv
+//!   axpy groups, layer norm, ReLU — the row never leaves registers
+//!   between them), so a layer writes one buffer once instead of four;
+//! * **per-tree execution** — conv layers and pooling run tree by tree
+//!   in a ping-pong scratch arena sized to the largest tree: the working
+//!   set is cache-resident at any wave size, which is what makes
+//!   coalescing *scale* instead of thrashing;
+//! * **amortized weights** — the GEMM weight transposes are built once
+//!   per call and reused across every tree (and the arena persists
+//!   across calls: the serving layer scores all its waves through one
+//!   scratch).
+//!
+//! On top of the fused kernels the engine exploits a structural property
+//! of Bao's workload: **arm families alias heavily**. Many hint sets do
+//! not change the optimizer's chosen plan (the paper leans on this when
+//! it dedups hinted plans before execution), so a 49-arm family typically
+//! contains only a handful of *distinct* plan trees — and a coalesced
+//! wave concentrates even more duplicates. [`TreeCnn::predict_trees_scratch`]
+//! therefore dedups the forest by exact bitwise equality (features, child
+//! indices), scores each distinct tree once, and scatters the score to
+//! every duplicate. This is where the coalesced path's speedup is
+//! *algorithmic* rather than micro-architectural: work scales with
+//! distinct plans, not arms.
+//!
+//! Results are **bitwise identical** to [`TreeCnn::predict_batch`]: the
+//! per-node accumulation order of the batched GEMM kernels is replicated
+//! exactly (transposed-axpy in ascending-`k` order, zero inputs skipped,
+//! self/left/right group order preserved), layer norm and pooling are
+//! per-node/per-tree in the same order, and the fully connected head
+//! runs as one un-chunked GEMM over the whole forest exactly like the
+//! tape path. Together with the batch-composition invariance of those
+//! kernels (each tree's prediction depends only on its own nodes), this
+//! is what makes both cross-query coalescing and duplicate scattering
+//! legal: a tree's score does not depend on its batch neighbours, so a
+//! wave scores every plan to the same bits the serial per-query path
+//! would have produced. Dedup preserves the bits because identical
+//! inputs through a deterministic per-tree pipeline give identical
+//! outputs, and it is only applied while the fully connected head stays
+//! on the same (GEMM vs small-batch) branch it would take undeduped.
+
+use crate::layers::LN_EPS;
+use crate::net::TreeCnn;
+use crate::param::Param;
+use crate::tree::FeatTree;
+
+/// Reusable inference arena for [`TreeCnn::predict_trees_scratch`].
+///
+/// Holds the per-call weight transposes and every intermediate buffer;
+/// all storage is grown on demand and retained across calls, so a
+/// long-lived scratch (one per serving loop) amortizes allocation to
+/// zero. Plain data — cheap to construct, safe to drop.
+#[derive(Debug, Default)]
+pub struct ScoreScratch {
+    /// Transposed conv weights, `[layer][top, left, right]`.
+    wt_conv: Vec<Vec<f32>>,
+    wt_fc1: Vec<f32>,
+    wt_fc2: Vec<f32>,
+    /// Ping-pong node-major activation buffers for the current tree.
+    act_a: Vec<f32>,
+    act_b: Vec<f32>,
+    /// Pooled per-tree activations (`n_trees × c3`), written per tree.
+    pooled: Vec<f32>,
+    /// FC hidden activations (`n_trees × hidden`).
+    fc1: Vec<f32>,
+    /// Trees the last call actually pushed through the network after
+    /// duplicate elimination (telemetry for benches and serving reports).
+    pub last_scored: usize,
+    /// Trees the last call was asked to score.
+    pub last_requested: usize,
+}
+
+impl ScoreScratch {
+    pub fn new() -> ScoreScratch {
+        ScoreScratch::default()
+    }
+}
+
+/// FNV-1a over a tree's structure and exact feature bits. Equal trees
+/// hash equal; the dedup pass still confirms candidates with a full
+/// bitwise comparison, so collisions only cost a compare.
+fn tree_hash(t: &FeatTree) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    h = (h ^ t.n_nodes() as u64).wrapping_mul(PRIME);
+    for &l in &t.left {
+        h = (h ^ l as u64).wrapping_mul(PRIME);
+    }
+    for &r in &t.right {
+        h = (h ^ r as u64).wrapping_mul(PRIME);
+    }
+    for &f in &t.feats {
+        h = (h ^ f.to_bits() as u64).wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Exact equality: same shape, same children, same feature *bits*
+/// (`to_bits`, so `-0.0` and `0.0` stay distinct — strictly conservative).
+fn same_tree(a: &FeatTree, b: &FeatTree) -> bool {
+    a.n_nodes() == b.n_nodes()
+        && a.left == b.left
+        && a.right == b.right
+        && a.feats.iter().zip(b.feats.iter()).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Duplicate elimination over a forest. Returns the indices of the
+/// distinct trees plus, for every input tree, the position of its
+/// representative in that distinct list. Grouping is by `(hash, index)`
+/// sort — fully deterministic, no hash-map iteration anywhere — and
+/// every group member is confirmed by [`same_tree`] before it shares a
+/// representative.
+fn dedup_forest(trees: &[&FeatTree]) -> (Vec<usize>, Vec<usize>) {
+    let mut order: Vec<(u64, usize)> =
+        trees.iter().enumerate().map(|(i, t)| (tree_hash(t), i)).collect();
+    order.sort_unstable();
+    let mut remap = vec![usize::MAX; trees.len()];
+    let mut distinct: Vec<usize> = Vec::new();
+    let mut g0 = 0;
+    while g0 < order.len() {
+        let mut g1 = g0 + 1;
+        while g1 < order.len() && order[g1].0 == order[g0].0 {
+            g1 += 1;
+        }
+        let group_start = distinct.len();
+        for &(_, i) in &order[g0..g1] {
+            let found = (group_start..distinct.len())
+                .find(|&d| same_tree(trees[distinct[d]], trees[i]));
+            match found {
+                Some(d) => remap[i] = d,
+                None => {
+                    remap[i] = distinct.len();
+                    distinct.push(i);
+                }
+            }
+        }
+        g0 = g1;
+    }
+    (distinct, remap)
+}
+
+/// `y += wtᵀ-weighted x` for one node row: the inner axpy of
+/// [`Param::matmul_add`]'s GEMM branch — ascending-`k`, zero inputs
+/// skipped — so accumulation order (and therefore every bit) matches the
+/// batched kernels.
+#[inline]
+fn axpy_row(yi: &mut [f32], xi: &[f32], wt: &[f32]) {
+    let rows = yi.len();
+    for (k, &xv) in xi.iter().enumerate() {
+        if xv == 0.0 {
+            continue;
+        }
+        let wk = &wt[k * rows..(k + 1) * rows];
+        for (yv, &wv) in yi.iter_mut().zip(wk.iter()) {
+            *yv += xv * wv;
+        }
+    }
+}
+
+/// Layer norm + ReLU on one node row, in place. Bitwise identical to
+/// `layer_norm_forward` followed by `relu_forward`: same mean/variance
+/// reductions, same `gamma * xhat + beta` then `max(_, 0.0)` per element.
+#[inline]
+fn ln_relu_row(gamma: &Param, beta: &Param, yi: &mut [f32]) {
+    let c = yi.len();
+    let mean = yi.iter().sum::<f32>() / c as f32;
+    let var = yi.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / c as f32;
+    let istd = 1.0 / (var + LN_EPS).sqrt();
+    for (j, v) in yi.iter_mut().enumerate() {
+        let h = (*v - mean) * istd;
+        *v = (gamma.w[j] * h + beta.w[j]).max(0.0);
+    }
+}
+
+impl TreeCnn {
+    /// Score a forest through the pack-free, tape-free inference path,
+    /// with duplicate plan trees scored once and their result scattered.
+    /// Returns per-tree predictions bitwise identical to
+    /// [`TreeCnn::predict_batch`] — see the module docs for why.
+    pub fn predict_trees_scratch(&self, trees: &[&FeatTree], s: &mut ScoreScratch) -> Vec<f32> {
+        s.last_requested = trees.len();
+        s.last_scored = trees.len();
+        if trees.len() >= 2 {
+            let (distinct, remap) = dedup_forest(trees);
+            // Dedup only while the FC head keeps its GEMM branch: below
+            // MATMUL_MIN_BATCH rows the reference kernels switch to the
+            // matvec fallback, whose rounding the undeduped batch would
+            // not see. (A real arm family always clears the threshold.)
+            if distinct.len() < trees.len() && distinct.len() >= Param::MATMUL_MIN_BATCH {
+                let uniq: Vec<&FeatTree> = distinct.iter().map(|&i| trees[i]).collect();
+                let scores = self.score_forest(&uniq, s);
+                s.last_requested = trees.len();
+                s.last_scored = uniq.len();
+                return remap.into_iter().map(|d| scores[d]).collect();
+            }
+        }
+        self.score_forest(trees, s)
+    }
+
+    /// The fused forward pass over a forest, every tree scored
+    /// individually (no dedup). Callers guarantee nothing about
+    /// duplicates; bit-identity to the tape path holds per tree.
+    fn score_forest(&self, trees: &[&FeatTree], s: &mut ScoreScratch) -> Vec<f32> {
+        let n_trees = trees.len();
+        if n_trees == 0 {
+            return Vec::new();
+        }
+        let total: usize = trees.iter().map(|t| t.n_nodes()).sum();
+        if total < Param::MATMUL_MIN_BATCH {
+            // The tape path's GEMMs fall back to per-node matvec below
+            // this; delegate so the fallback rounding stays the reference.
+            return self.predict_batch(trees);
+        }
+        let in_c = self.cfg.input_dim;
+        let channels = [self.cfg.channels[0], self.cfg.channels[1], self.cfg.channels[2]];
+        let c3 = channels[2];
+
+        // Weight transposes: once per call, shared by every tree.
+        s.wt_conv.resize_with(9, Vec::new);
+        for k in 0..3 {
+            self.conv[k].top.transpose_into(&mut s.wt_conv[k * 3]);
+            self.conv[k].left.transpose_into(&mut s.wt_conv[k * 3 + 1]);
+            self.conv[k].right.transpose_into(&mut s.wt_conv[k * 3 + 2]);
+        }
+        self.fc1_w.transpose_into(&mut s.wt_fc1);
+        self.fc2_w.transpose_into(&mut s.wt_fc2);
+
+        s.pooled.clear();
+        s.pooled.resize(n_trees * c3, f32::NEG_INFINITY);
+
+        let max_c = channels[0].max(channels[1]).max(channels[2]);
+        for (t, tree) in trees.iter().enumerate() {
+            debug_assert_eq!(tree.feat_dim, in_c, "feature dim mismatch");
+            let n = tree.n_nodes();
+            if s.act_a.len() < n * max_c {
+                s.act_a.resize(n * max_c, 0.0);
+                s.act_b.resize(n * max_c, 0.0);
+            }
+            let (mut src, mut dst) = (&mut s.act_a, &mut s.act_b);
+            for k in 0..3 {
+                let out_c = channels[k];
+                let xc = if k == 0 { in_c } else { channels[k - 1] };
+                let x: &[f32] = if k == 0 { &tree.feats } else { &src[..n * xc] };
+                let (wt_top, wt_left, wt_right) =
+                    (&s.wt_conv[k * 3], &s.wt_conv[k * 3 + 1], &s.wt_conv[k * 3 + 2]);
+                let (gamma, beta) = (&self.ln[k].gamma, &self.ln[k].beta);
+                let bias = &self.conv[k].bias.w;
+                // Whole layer fused per node: bias, the three conv axpy
+                // groups (self, left child, right child — in the batched
+                // kernels' call order, so accumulation per output element
+                // is bit-identical), then layer norm + ReLU on the row
+                // while it is still register-hot. One write per buffer
+                // per layer instead of four.
+                for i in 0..n {
+                    let yi = &mut dst[i * out_c..(i + 1) * out_c];
+                    yi.copy_from_slice(bias);
+                    axpy_row(yi, &x[i * xc..(i + 1) * xc], wt_top);
+                    let l = tree.left[i];
+                    if l >= 0 {
+                        let l = l as usize;
+                        axpy_row(yi, &x[l * xc..(l + 1) * xc], wt_left);
+                    }
+                    let r = tree.right[i];
+                    if r >= 0 {
+                        let r = r as usize;
+                        axpy_row(yi, &x[r * xc..(r + 1) * xc], wt_right);
+                    }
+                    ln_relu_row(gamma, beta, yi);
+                }
+                std::mem::swap(&mut src, &mut dst);
+            }
+            // `src` holds the tree's final conv activations; pool in
+            // ascending node order (same comparisons as
+            // `dyn_pool_forward_batch`).
+            let yt = &mut s.pooled[t * c3..(t + 1) * c3];
+            for i in 0..n {
+                let row = &src[i * c3..(i + 1) * c3];
+                for (yv, &v) in yt.iter_mut().zip(row.iter()) {
+                    if v > *yv {
+                        *yv = v;
+                    }
+                }
+            }
+        }
+
+        // FC head over the full forest in one GEMM, exactly like the tape
+        // path (never per-tree: a short batch must not flip the GEMM's
+        // small-batch fallback).
+        let hidden = self.fc1_w.rows;
+        if s.fc1.len() < n_trees * hidden {
+            s.fc1.resize(n_trees * hidden, 0.0);
+        }
+        let fc1 = &mut s.fc1[..n_trees * hidden];
+        for yi in fc1.chunks_exact_mut(hidden) {
+            yi.copy_from_slice(&self.fc1_b.w);
+        }
+        self.fc1_w.matmul_add_pre(&s.wt_fc1, &s.pooled, fc1, n_trees);
+        for v in fc1.iter_mut() {
+            *v = v.max(0.0);
+        }
+        let mut out = vec![self.fc2_b.w[0]; n_trees];
+        self.fc2_w.matmul_add_pre(&s.wt_fc2, fc1, &mut out, n_trees);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::TcnnConfig;
+    use bao_common::{rng_from_seed, Rng};
+
+    /// Random plan-like tree: a left-leaning binary spine with random
+    /// features, `depth` internal nodes.
+    fn random_tree(dim: usize, depth: usize, rng: &mut impl Rng) -> FeatTree {
+        let n = 2 * depth + 1;
+        let mut nodes = Vec::new();
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for i in 0..n {
+            // Sparse one-hot-ish rows, like real featurized plans.
+            let mut f = vec![0.0f32; dim];
+            f[i % dim] = 1.0;
+            f[(i * 7 + 3) % dim] = rng.gen_range(0.0f32..2.0);
+            nodes.push(f);
+            if 2 * i + 2 < n {
+                left.push((2 * i + 1) as i32);
+                right.push((2 * i + 2) as i32);
+            } else {
+                left.push(-1);
+                right.push(-1);
+            }
+        }
+        FeatTree::new(dim, nodes, left, right)
+    }
+
+    fn random_forest(dim: usize, count: usize, seed: u64) -> Vec<FeatTree> {
+        let mut rng = rng_from_seed(seed);
+        (0..count).map(|i| random_tree(dim, 1 + (i % 9), &mut rng)).collect()
+    }
+
+    /// The whole contract: the scratch path returns the same bits as the
+    /// tape path, for forest sizes spanning one tree to many queries'
+    /// worth.
+    #[test]
+    fn scratch_path_is_bitwise_identical_to_tape_path() {
+        let dim = 11;
+        let net = TreeCnn::new(TcnnConfig::tiny(dim), 42);
+        let mut s = ScoreScratch::new();
+        for count in [1usize, 3, 7, 49, 130] {
+            let trees = random_forest(dim, count, 0xBA0 + count as u64);
+            let refs: Vec<&FeatTree> = trees.iter().collect();
+            let tape = net.predict_batch(&refs);
+            let fast = net.predict_trees_scratch(&refs, &mut s);
+            assert_eq!(tape.len(), fast.len());
+            for (i, (a, b)) in tape.iter().zip(fast.iter()).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "tree {i}/{count}: tape {a} vs scratch {b}"
+                );
+            }
+        }
+    }
+
+    /// Batch composition must not leak between trees: a tree scored alone
+    /// and scored inside a coalesced forest yields identical bits (the
+    /// invariant cross-query coalescing rests on). Trees below
+    /// `MATMUL_MIN_BATCH` nodes are excluded when scored *alone*: there
+    /// the reference kernels themselves switch to the small-batch matvec
+    /// fallback (a different, equally deterministic rounding order) — a
+    /// regime serving never sees, since every wave scores a full arm
+    /// family.
+    #[test]
+    fn forest_composition_never_changes_a_tree() {
+        let dim = 9;
+        let net = TreeCnn::new(TcnnConfig::tiny(dim), 7);
+        let trees = random_forest(dim, 60, 99);
+        let refs: Vec<&FeatTree> = trees.iter().collect();
+        let mut s = ScoreScratch::new();
+        let together = net.predict_trees_scratch(&refs, &mut s);
+        let mut checked = 0;
+        for (i, t) in trees.iter().enumerate() {
+            if t.n_nodes() < Param::MATMUL_MIN_BATCH {
+                continue;
+            }
+            let alone = net.predict_trees_scratch(&[t], &mut s);
+            assert_eq!(together[i].to_bits(), alone[0].to_bits(), "tree {i}");
+            checked += 1;
+        }
+        assert!(checked > 40, "fixture should exercise mostly GEMM-branch trees");
+    }
+
+    /// Scratch reuse across calls (the serving pattern) stays identical
+    /// to fresh-scratch calls and to the tape path.
+    #[test]
+    fn scratch_reuse_across_calls_is_clean() {
+        let dim = 8;
+        let net = TreeCnn::new(TcnnConfig::tiny(dim), 3);
+        let mut s = ScoreScratch::new();
+        for round in 0..4u64 {
+            let trees = random_forest(dim, 25 + round as usize * 10, round);
+            let refs: Vec<&FeatTree> = trees.iter().collect();
+            let tape = net.predict_batch(&refs);
+            let fast = net.predict_trees_scratch(&refs, &mut s);
+            for (a, b) in tape.iter().zip(fast.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "round {round}");
+            }
+        }
+    }
+
+    /// Arm families alias to few distinct plans; the engine must score
+    /// the duplicates once, scatter exactly, and stay bit-identical to
+    /// the tape path scoring every copy.
+    #[test]
+    fn duplicate_heavy_forest_dedups_and_matches_tape_path() {
+        let dim = 10;
+        let net = TreeCnn::new(TcnnConfig::tiny(dim), 21);
+        let base = random_forest(dim, 9, 1234);
+        // 63 trees referencing only 9 distinct plans, interleaved the way
+        // a coalesced wave of aliasing arm families would be.
+        let refs: Vec<&FeatTree> = (0..63).map(|i| &base[(i * 4) % 9]).collect();
+        let mut s = ScoreScratch::new();
+        let tape = net.predict_batch(&refs);
+        let fast = net.predict_trees_scratch(&refs, &mut s);
+        assert_eq!(s.last_requested, 63);
+        assert_eq!(s.last_scored, 9, "nine distinct plans must be scored once each");
+        for (i, (a, b)) in tape.iter().zip(fast.iter()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "tree {i}: tape {a} vs dedup {b}");
+        }
+    }
+
+    /// When deduplication would drop the fully connected head below the
+    /// GEMM's small-batch threshold, the engine scores the full forest
+    /// instead — the branch the undeduped reference takes must never
+    /// silently change.
+    #[test]
+    fn dedup_below_gemm_threshold_scores_full_forest() {
+        let dim = 7;
+        let net = TreeCnn::new(TcnnConfig::tiny(dim), 13);
+        let base = random_forest(dim, 2, 77);
+        let refs: Vec<&FeatTree> = (0..12).map(|i| &base[i % 2]).collect();
+        let mut s = ScoreScratch::new();
+        let tape = net.predict_batch(&refs);
+        let fast = net.predict_trees_scratch(&refs, &mut s);
+        assert_eq!(s.last_scored, 12, "2 distinct < MATMUL_MIN_BATCH: no dedup");
+        for (a, b) in tape.iter().zip(fast.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// A forest below the GEMM's small-batch threshold delegates to the
+    /// tape path (identical by construction) instead of diverging.
+    #[test]
+    fn tiny_batch_matches_tape_fallback() {
+        let dim = 6;
+        let net = TreeCnn::new(TcnnConfig::tiny(dim), 11);
+        let mut rng = rng_from_seed(5);
+        let t = random_tree(dim, 1, &mut rng); // 3 nodes < MATMUL_MIN_BATCH
+        let mut s = ScoreScratch::new();
+        let tape = net.predict_batch(&[&t]);
+        let fast = net.predict_trees_scratch(&[&t], &mut s);
+        assert_eq!(tape[0].to_bits(), fast[0].to_bits());
+    }
+}

@@ -149,7 +149,7 @@ pub fn relu_backward(y: &[f32], dy: &[f32]) -> Vec<f32> {
     y.iter().zip(dy.iter()).map(|(&yv, &d)| if yv > 0.0 { d } else { 0.0 }).collect()
 }
 
-const LN_EPS: f32 = 1e-5;
+pub(crate) const LN_EPS: f32 = 1e-5;
 
 /// Per-node layer normalization over channels. Returns `(y, xhat,
 /// inv_std)`; the latter two are backward caches.

@@ -15,6 +15,7 @@
 //! and a reduced-width default keeps full experiment sweeps fast on CPU.
 
 pub mod adam;
+pub mod infer;
 pub mod layers;
 pub mod net;
 pub mod param;
@@ -22,6 +23,7 @@ pub mod train;
 pub mod tree;
 
 pub use adam::AdamConfig;
+pub use infer::ScoreScratch;
 pub use net::{BatchTape, TcnnConfig, TreeCnn};
 pub use param::Param;
 pub use train::{train, train_reference, TrainConfig, TrainReport};

@@ -78,9 +78,9 @@ impl FromJson for TcnnConfig {
 
 /// One layer-norm parameter pair.
 #[derive(Debug, Clone)]
-struct LnParams {
-    gamma: Param,
-    beta: Param,
+pub(crate) struct LnParams {
+    pub(crate) gamma: Param,
+    pub(crate) beta: Param,
 }
 
 impl ToJson for LnParams {
@@ -100,12 +100,12 @@ impl FromJson for LnParams {
 #[derive(Debug, Clone)]
 pub struct TreeCnn {
     pub cfg: TcnnConfig,
-    conv: Vec<TreeConvParams>,
-    ln: Vec<LnParams>,
-    fc1_w: Param,
-    fc1_b: Param,
-    fc2_w: Param,
-    fc2_b: Param,
+    pub(crate) conv: Vec<TreeConvParams>,
+    pub(crate) ln: Vec<LnParams>,
+    pub(crate) fc1_w: Param,
+    pub(crate) fc1_b: Param,
+    pub(crate) fc2_w: Param,
+    pub(crate) fc2_b: Param,
 }
 
 impl ToJson for TreeCnn {

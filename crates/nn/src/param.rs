@@ -230,6 +230,92 @@ impl Param {
         }
     }
 
+    /// Write this parameter's column-major transpose into `wt` (resized
+    /// to `cols × rows`). Callers that run [`Param::matmul_add_pre`] /
+    /// [`Param::matmul_gather_add_pre`] over many chunks of one batch
+    /// transpose once here instead of once per GEMM call.
+    pub fn transpose_into(&self, wt: &mut Vec<f32>) {
+        let (c, rows) = (self.cols, self.rows);
+        wt.clear();
+        wt.resize(c * rows, 0.0);
+        for r in 0..rows {
+            for k in 0..c {
+                wt[k * rows + r] = self.w[r * c + k];
+            }
+        }
+    }
+
+    /// [`Param::matmul_add`] with a caller-provided transpose (from
+    /// [`Param::transpose_into`]). Bitwise identical to `matmul_add` for
+    /// every `n`, including the small-batch `matvec_add` fallback — the
+    /// transpose only changes *who* pays for it, never the accumulation
+    /// order.
+    pub fn matmul_add_pre(&self, wt: &[f32], x: &[f32], y: &mut [f32], n: usize) {
+        let c = self.cols;
+        let rows = self.rows;
+        debug_assert_eq!(wt.len(), c * rows);
+        debug_assert_eq!(x.len(), n * c);
+        debug_assert_eq!(y.len(), n * rows);
+        if n < Self::MATMUL_MIN_BATCH {
+            for i in 0..n {
+                self.matvec_add(&x[i * c..(i + 1) * c], &mut y[i * rows..(i + 1) * rows]);
+            }
+            return;
+        }
+        for i in 0..n {
+            let xi = &x[i * c..(i + 1) * c];
+            let yi = &mut y[i * rows..(i + 1) * rows];
+            for (k, &xv) in xi.iter().enumerate() {
+                if xv == 0.0 {
+                    continue;
+                }
+                let wk = &wt[k * rows..(k + 1) * rows];
+                for (yv, &wv) in yi.iter_mut().zip(wk.iter()) {
+                    *yv += xv * wv;
+                }
+            }
+        }
+    }
+
+    /// [`Param::matmul_gather_add`] with a caller-provided transpose;
+    /// same bitwise-identity guarantee as [`Param::matmul_add_pre`].
+    pub fn matmul_gather_add_pre(&self, wt: &[f32], x: &[f32], idx: &[i32], y: &mut [f32]) {
+        let c = self.cols;
+        let rows = self.rows;
+        let n = idx.len();
+        debug_assert_eq!(wt.len(), c * rows);
+        debug_assert_eq!(y.len(), n * rows);
+        if n < Self::MATMUL_MIN_BATCH {
+            for (i, &j) in idx.iter().enumerate() {
+                if j >= 0 {
+                    let j = j as usize;
+                    self.matvec_add(
+                        &x[j * c..(j + 1) * c],
+                        &mut y[i * rows..(i + 1) * rows],
+                    );
+                }
+            }
+            return;
+        }
+        for (i, &j) in idx.iter().enumerate() {
+            if j < 0 {
+                continue;
+            }
+            let j = j as usize;
+            let xj = &x[j * c..(j + 1) * c];
+            let yi = &mut y[i * rows..(i + 1) * rows];
+            for (k, &xv) in xj.iter().enumerate() {
+                if xv == 0.0 {
+                    continue;
+                }
+                let wk = &wt[k * rows..(k + 1) * rows];
+                for (yv, &wv) in yi.iter_mut().zip(wk.iter()) {
+                    *yv += xv * wv;
+                }
+            }
+        }
+    }
+
     /// Batched `dX += dY W`: `dy` is `n × rows`, `dx` is `n × cols`.
     /// The input-gradient GEMM of [`Param::matmul_add`]. Rows with a zero
     /// upstream gradient (common after ReLU) are skipped.

@@ -80,16 +80,10 @@ fn bao_beats_postgres_after_training() {
     );
 }
 
-/// Figure 9: the win concentrates in the tail — p99 improves much more
-/// than the median (which the paper reports as < 5% improved).
-#[test]
-fn tail_latency_improves_more_than_median() {
+/// Second-half per-query latencies (Bao, traditional) for one seed —
+/// the raw material of the Figure 9 tail-vs-median measurement.
+fn tail_latencies(seed: u64) -> (Vec<f64>, Vec<f64>) {
     let n = 240;
-    // Seed chosen so the traditional optimizer's second half actually
-    // contains a catastrophic plan for Bao to avoid — the regime Figure 9
-    // describes. (At this reduced scale most seeds produce no disaster in
-    // the measured window, and then there is no tail to improve.)
-    let seed = 17;
     let (db, wl) =
         build_imdb(&ImdbConfig { scale: 0.08, n_queries: n, dynamic: true, seed }).unwrap();
     let mut settings = BaoSettings::fast(6);
@@ -103,12 +97,59 @@ fn tail_latency_improves_more_than_median() {
     let trad = Runner::new(cfg, db).run(&wl).unwrap();
 
     let half = n / 2;
-    let bao_lat: Vec<f64> =
-        bao.records[half..].iter().map(|r| r.latency.as_ms()).collect();
-    let trad_lat: Vec<f64> =
-        trad.records[half..].iter().map(|r| r.latency.as_ms()).collect();
-    // At this scale the second half holds ~120 queries, so p99 is a
-    // single-sample statistic; p90 is the stable tail measure here.
+    let bao_lat: Vec<f64> = bao.records[half..].iter().map(|r| r.latency.as_ms()).collect();
+    let trad_lat: Vec<f64> = trad.records[half..].iter().map(|r| r.latency.as_ms()).collect();
+    (bao_lat, trad_lat)
+}
+
+/// Figure 9: the win concentrates in the tail — p99 improves much more
+/// than the median (which the paper reports as < 5% improved). Asserted
+/// over the latency distribution *pooled across five seeds* rather than
+/// on one hand-picked seed: at this reduced scale most individual seeds
+/// produce no catastrophic plan inside the measured window (no tail to
+/// improve, ratios ≈ 1), so any single-seed assertion either curates its
+/// seed or flakes. Pooling keeps the disasters in the tail of one
+/// honest, seed-robust distribution — the regime Figure 9 describes.
+#[test]
+fn tail_latency_improves_more_than_median() {
+    let seeds = [7u64, 13, 17, 23, 42];
+    let mut bao_all = Vec::new();
+    let mut trad_all = Vec::new();
+    for seed in seeds {
+        let (b, t) = tail_latencies(seed);
+        println!(
+            "seed {seed}: per-seed p90 ratio {:.3}",
+            percentile(&b, 90.0) / percentile(&t, 90.0)
+        );
+        bao_all.extend(b);
+        trad_all.extend(t);
+    }
+    let ratio = |p: f64| percentile(&bao_all, p) / percentile(&trad_all, p);
+    let (p99, p90, p50) = (ratio(99.0), ratio(90.0), ratio(50.0));
+    println!("pooled ratios over {} queries: p99 {p99:.3} p90 {p90:.3} p50 {p50:.3}", bao_all.len());
+    assert!(p99 < 0.85, "pooled tail should improve markedly: p99 ratio {p99:.3}");
+    assert!(
+        p50 > 0.5,
+        "pooled median should change far less than the tail: p50 ratio {p50:.3}"
+    );
+    // The tail win must exceed the median win — the distributional shape
+    // Figure 9 is actually about.
+    assert!(
+        p99 < p50,
+        "tail improvement should exceed median improvement: p99 {p99:.3} vs p50 {p50:.3}"
+    );
+}
+
+/// Regression-only pin of the historical hand-picked seed: seed 17 is
+/// known to contain a catastrophic traditional plan in the measured
+/// window, and Bao must keep avoiding it. The claim itself is asserted
+/// seed-robustly above; this exists to catch behavioural drift on a
+/// known-bad instance, not to establish the claim.
+#[test]
+fn tail_latency_seed17_regression() {
+    let (bao_lat, trad_lat) = tail_latencies(17);
+    // ~120 second-half queries: p99 would be a single-sample statistic,
+    // so p90 is the stable tail measure at single-seed granularity.
     let p90_ratio = percentile(&bao_lat, 90.0) / percentile(&trad_lat, 90.0);
     let p50_ratio = percentile(&bao_lat, 50.0) / percentile(&trad_lat, 50.0);
     assert!(p90_ratio < 0.85, "tail should improve markedly: ratio {p90_ratio:.2}");

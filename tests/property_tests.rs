@@ -201,6 +201,86 @@ fn percentile_properties() {
     });
 }
 
+/// Order-independence of the cross-query batched arm scorer: permuting
+/// the arrival order of the queries inside a coalescing window never
+/// changes any query's selection. `Bao::evaluate_arms_multi` plans on a
+/// worker pool that re-slots results into (query, arm) order and scores
+/// through a packed forward pass whose kernels are all per-node or
+/// per-tree, so each query's arm choice, predictions, and planning work
+/// must be bitwise independent of its batch neighbours.
+#[test]
+fn coalesced_scoring_is_arrival_order_independent() {
+    use bao_core::{Bao, BaoConfig};
+    use bao_models::TcnnModel;
+    use bao_nn::{TcnnConfig, TrainConfig};
+
+    check_cases("coalesced_scoring_is_arrival_order_independent", 0xA008, 8, |gen| {
+        let (db, cat) = shared_db();
+        let opt = Optimizer::postgres();
+
+        // A fitted Bao over a reduced arm family (order-independence
+        // does not depend on arm count; 8 arms keep the case cheap).
+        let cfg = BaoConfig {
+            arms: HintSet::top_arms(8),
+            window_size: 64,
+            retrain_interval: 1_000,
+            cache_features: false,
+            seed: gen.gen_range(0u64..1 << 48),
+            ..BaoConfig::default()
+        };
+        let featurizer = Featurizer::new(false);
+        let dim = featurizer.input_dim();
+        let model = Box::new(TcnnModel::new(
+            TcnnConfig::tiny(dim),
+            TrainConfig { max_epochs: 5, ..TrainConfig::default() },
+        ));
+        let mut bao = Bao::with_model(cfg, model);
+        for _ in 0..6 {
+            let template = gen.gen_range(0..N_TEMPLATES);
+            let mut rng = rng_from_seed(gen.gen_range(0u64..5_000));
+            let (_, q) = instantiate_template(template, 0.04, &mut rng);
+            let plan = opt.plan(&q, db, cat, HintSet::all_enabled()).unwrap();
+            let tree = featurizer.featurize(&plan.root, &q, db, None);
+            bao.observe(tree, gen.gen_range(10.0f64..1_000.0));
+        }
+        bao.retrain_now();
+        assert!(bao.is_model_fitted());
+
+        // A window of distinct queries, scored in arrival order …
+        let n = gen.gen_range(2usize..6);
+        let queries: Vec<_> = (0..n)
+            .map(|_| {
+                let template = gen.gen_range(0..N_TEMPLATES);
+                let mut rng = rng_from_seed(gen.gen_range(0u64..10_000));
+                instantiate_template(template, 0.04, &mut rng).1
+            })
+            .collect();
+        let refs: Vec<&_> = queries.iter().collect();
+        let base = bao.evaluate_arms_multi(&opt, &refs, db, cat, None).unwrap();
+
+        // … and again under a random permutation of arrival order.
+        let mut perm: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = gen.gen_range(0..(i + 1));
+            perm.swap(i, j);
+        }
+        let shuffled: Vec<&_> = perm.iter().map(|&i| &queries[i]).collect();
+        let permuted = bao.evaluate_arms_multi(&opt, &shuffled, db, cat, None).unwrap();
+
+        for (pos, &orig) in perm.iter().enumerate() {
+            let (a, _) = &base[orig];
+            let (b, _) = &permuted[pos];
+            assert_eq!(a.arm, b.arm, "query {orig}: selection changed under permutation");
+            assert_eq!(
+                a.predictions, b.predictions,
+                "query {orig}: predictions not bitwise identical under permutation"
+            );
+            assert_eq!(a.per_arm_work, b.per_arm_work);
+            assert_eq!(a.plan, b.plan);
+        }
+    });
+}
+
 /// SQL round trip: rendering a workload query to SQL and re-parsing it
 /// reproduces the identical AST (so `Display` and the parser agree on the
 /// full supported fragment).

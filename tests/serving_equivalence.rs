@@ -1,0 +1,123 @@
+//! Determinism contract of the concurrent serving layer: a
+//! `ServingRunner` at any concurrency level and coalescing window
+//! produces a `RunResult` byte-identical (via ToJson) to the serial
+//! `Runner::run` path — same selections, same clocks, same experience
+//! ordering, same retrain schedule — on a full 49-arm workload.
+
+use bao_bench::{build_workload, WorkloadName};
+use bao_common::json::ToJson;
+use bao_harness::{
+    BaoSettings, ModelKind, RunConfig, RunResult, Runner, ServingConfig, ServingRunner, Strategy,
+};
+use bao_storage::Database;
+use bao_workloads::Workload;
+
+const SCALE: f64 = 0.02;
+const N_QUERIES: usize = 36;
+
+/// Settings that reach scored (fitted-model) mode early so coalesced
+/// waves actually form: retrain every 12 queries leaves two thirds of
+/// the workload scored by the full 49-arm batch.
+fn settings(cache_features: bool) -> BaoSettings {
+    BaoSettings {
+        model: ModelKind::TcnnFast,
+        window: N_QUERIES,
+        retrain: 12,
+        cache_features,
+        ..BaoSettings::default()
+    }
+}
+
+fn config(seed: u64, cache_features: bool) -> RunConfig {
+    RunConfig {
+        seed,
+        stats_sample: 400,
+        ..RunConfig::new(bao_cloud::N1_4, Strategy::Bao(settings(cache_features)))
+    }
+}
+
+/// Serialize a run for bitwise comparison. `wall_train` is real
+/// wall-clock spent in `fit` (telemetry, documented as such) and is the
+/// one legitimately non-deterministic field; zero it so the comparison
+/// covers every simulated quantity bit-for-bit.
+fn canonical(mut r: RunResult) -> String {
+    r.wall_train = std::time::Duration::ZERO;
+    r.to_json().to_string()
+}
+
+fn workload_for(seed: u64) -> (Database, Workload) {
+    build_workload(WorkloadName::Imdb, SCALE, N_QUERIES, seed).unwrap()
+}
+
+#[test]
+fn serving_is_bit_identical_to_serial_across_concurrency_and_windows() {
+    for seed in [3, 19, 42] {
+        let (db, wl) = workload_for(seed);
+        let serial = canonical(Runner::new(config(seed, false), db.clone()).run(&wl).unwrap());
+        for concurrency in [1usize, 4, 8] {
+            for window in [1usize, 8] {
+                let report = ServingRunner::new(
+                    config(seed, false),
+                    db.clone(),
+                    ServingConfig::new(concurrency, window),
+                )
+                .run(&wl)
+                .unwrap();
+                assert!(
+                    report.waves >= 1 && report.max_wave <= concurrency.min(window).max(1),
+                    "seed {seed} c={concurrency} w={window}: waves {} max_wave {}",
+                    report.waves,
+                    report.max_wave
+                );
+                // Coalescing must actually engage once the window opens:
+                // fewer waves than queries, and cross-query batches seen.
+                if concurrency.min(window) > 1 {
+                    assert!(
+                        report.waves < N_QUERIES,
+                        "seed {seed} c={concurrency} w={window}: no coalescing happened"
+                    );
+                    assert!(report.coalesced_trees > 0);
+                }
+                let concurrent = canonical(report.result);
+                assert_eq!(
+                    serial, concurrent,
+                    "seed {seed} concurrency {concurrency} window {window}: \
+                     serving run diverged from serial run"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cache_feature_mode_clamps_waves_and_stays_identical() {
+    // With cache features on, featurization reads buffer-pool state that
+    // depends on every preceding execution; the serving layer must clamp
+    // its waves to 1 (DESIGN.md §9) and still reproduce the serial run.
+    let seed = 7;
+    let (db, wl) = workload_for(seed);
+    let serial = canonical(Runner::new(config(seed, true), db.clone()).run(&wl).unwrap());
+    let report =
+        ServingRunner::new(config(seed, true), db.clone(), ServingConfig::new(8, 8))
+            .run(&wl)
+            .unwrap();
+    assert!(report.clamped_by_cache_features);
+    assert_eq!(report.max_wave, 1, "cache-feature mode must not coalesce");
+    assert_eq!(report.waves, N_QUERIES);
+    assert_eq!(serial, canonical(report.result));
+}
+
+#[test]
+fn non_bao_strategies_pass_through_serving_unchanged() {
+    let seed = 5;
+    let (db, wl) = workload_for(seed);
+    let cfg = RunConfig {
+        seed,
+        stats_sample: 400,
+        ..RunConfig::new(bao_cloud::N1_4, Strategy::Traditional)
+    };
+    let serial = canonical(Runner::new(cfg.clone(), db.clone()).run(&wl).unwrap());
+    let report = ServingRunner::new(cfg, db, ServingConfig::new(8, 8)).run(&wl).unwrap();
+    assert_eq!(report.max_wave, 1);
+    assert_eq!(serial, canonical(report.result));
+}
