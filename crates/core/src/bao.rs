@@ -192,25 +192,42 @@ impl Bao {
         pool: Option<&BufferPool>,
     ) -> Result<Selection> {
         if !self.cfg.enabled || !self.model.is_fitted() {
-            let out = opt.plan(query, db, cat, self.cfg.arms[0])?;
-            let mut root = out.root;
-            bao_opt::annotate_estimates(&mut root, query, db, cat, opt.estimator(), &opt.params)?;
-            #[cfg(debug_assertions)]
-            bao_plan::verify::verify(&root, query, db)?;
-            let tree = self.featurizer.featurize(&root, query, db, pool);
-            return Ok(Selection {
-                arm: 0,
-                hints: self.cfg.arms[0],
-                plan: root,
-                tree,
-                predictions: vec![None; self.cfg.arms.len()],
-                planning_work: out.work,
-                per_arm_work: vec![out.work],
-                arms_planned: 1,
-            });
+            return self.plan_default_arm(opt, query, db, cat, pool);
         }
         let (selection, _) = self.evaluate_arms(opt, query, db, cat, pool)?;
         Ok(selection)
+    }
+
+    /// Plan only arm 0 (the unhinted traditional optimizer) — no arm
+    /// fan-out, no model scoring. This is both the fallback when Bao is
+    /// disabled or unfitted, and the degraded path an overloaded serving
+    /// layer sheds queries onto (the graceful-degradation contract,
+    /// DESIGN.md §10): the selection still carries a featurized tree so
+    /// its observed reward feeds the experience buffer like any other.
+    pub fn plan_default_arm(
+        &self,
+        opt: &Optimizer,
+        query: &Query,
+        db: &Database,
+        cat: &StatsCatalog,
+        pool: Option<&BufferPool>,
+    ) -> Result<Selection> {
+        let out = opt.plan(query, db, cat, self.cfg.arms[0])?;
+        let mut root = out.root;
+        bao_opt::annotate_estimates(&mut root, query, db, cat, opt.estimator(), &opt.params)?;
+        #[cfg(debug_assertions)]
+        bao_plan::verify::verify(&root, query, db)?;
+        let tree = self.featurizer.featurize(&root, query, db, pool);
+        Ok(Selection {
+            arm: 0,
+            hints: self.cfg.arms[0],
+            plan: root,
+            tree,
+            predictions: vec![None; self.cfg.arms.len()],
+            planning_work: out.work,
+            per_arm_work: vec![out.work],
+            arms_planned: 1,
+        })
     }
 
     /// Plan and predict every arm; returns the winning selection plus the

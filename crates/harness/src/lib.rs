@@ -15,4 +15,6 @@ pub use oracle::{exhaustive_arm_perfs, regret_of};
 pub use runner::{
     run_once, BaoSettings, ModelKind, QueryRecord, RunConfig, RunResult, Runner, Strategy,
 };
-pub use serving::{ServingConfig, ServingReport, ServingRunner};
+pub use serving::{
+    DispatchRecord, SchedServingReport, ServingConfig, ServingReport, ServingRunner,
+};

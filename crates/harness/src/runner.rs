@@ -1,7 +1,7 @@
 //! The workload runner.
 
 use bao_cloud::{gpu_train_time, CostReport, VmType};
-use bao_common::json::{Json, ToJson};
+use bao_common::json::{self, FromJson, Json, ToJson};
 use bao_common::{split_seed, BaoError, Result, SimDuration};
 use bao_core::{Bao, BaoConfig};
 use bao_exec::{execute, PerfMetric};
@@ -210,6 +210,41 @@ impl ToJson for RunResult {
             ("total_gpu", self.total_gpu.to_json()),
             ("wall_train_secs", self.wall_train.as_secs_f64().to_json()),
         ])
+    }
+}
+
+impl FromJson for QueryRecord {
+    fn from_json(j: &Json) -> Result<QueryRecord> {
+        Ok(QueryRecord {
+            idx: json::field(j, "idx")?,
+            label: json::field(j, "label")?,
+            arm: json::field(j, "arm")?,
+            opt_time: json::field(j, "opt_time")?,
+            latency: json::field(j, "latency")?,
+            cpu_time: json::field(j, "cpu_time")?,
+            physical_io: json::field(j, "physical_io")?,
+            perf: json::field(j, "perf")?,
+            clock: json::field(j, "clock")?,
+            gpu_time: json::field(j, "gpu_time")?,
+            arm_perfs: json::field(j, "arm_perfs")?,
+            plan: json::field(j, "plan")?,
+        })
+    }
+}
+
+impl FromJson for RunResult {
+    fn from_json(j: &Json) -> Result<RunResult> {
+        let wall_secs: f64 = json::field(j, "wall_train_secs")?;
+        if !(wall_secs.is_finite() && wall_secs >= 0.0) {
+            return Err(BaoError::Parse("wall_train_secs must be a finite non-negative".into()));
+        }
+        Ok(RunResult {
+            records: json::field(j, "records")?,
+            total_exec: json::field(j, "total_exec")?,
+            total_opt: json::field(j, "total_opt")?,
+            total_gpu: json::field(j, "total_gpu")?,
+            wall_train: std::time::Duration::from_secs_f64(wall_secs),
+        })
     }
 }
 
@@ -516,5 +551,28 @@ mod tests {
         assert_eq!(json::field::<u64>(&records[0], "physical_io").unwrap(), 1u64 << 60);
         assert_eq!(json::field::<f64>(&records[0], "perf").unwrap(), 250.25);
         assert!(records[0].get("plan").and_then(|p| p.get("op")).is_some());
+    }
+
+    #[test]
+    fn run_result_decodes_back_from_json() {
+        let result = sample_result();
+        let j = result.to_json();
+        let parsed = json::parse(&j.to_string()).unwrap();
+        let back = RunResult::from_json(&parsed).expect("decode RunResult");
+        // Decode → encode is the identity on the JSON text, which pins
+        // every field (including the full plan tree) bit-for-bit.
+        assert_eq!(back.to_json().to_string(), j.to_string());
+        assert_eq!(back.records.len(), result.records.len());
+        assert_eq!(back.records[0].arm, result.records[0].arm);
+        assert_eq!(back.records[0].plan, result.records[0].plan);
+        assert_eq!(back.total_exec, result.total_exec);
+        // wall_train goes through secs-as-f64; Duration nanos may round,
+        // so compare in f64 space.
+        assert!(
+            (back.wall_train.as_secs_f64() - result.wall_train.as_secs_f64()).abs() < 1e-9
+        );
+        // Corrupt input surfaces as a parse error.
+        let bad = Json::obj([("records", Json::Arr(vec![]))]);
+        assert!(RunResult::from_json(&bad).is_err());
     }
 }

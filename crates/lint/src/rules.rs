@@ -24,6 +24,12 @@
 //!   `RandomState`) would silently break replay, the serving-equivalence
 //!   suite, and Thompson-sampling reproducibility. Applies everywhere,
 //!   tests included — the determinism suite is itself seeded.
+//! * `no-float-eq` — `==` / `!=` against a float expression (a float
+//!   literal, an `as f64`/`as f32` cast, or an `f64::`/`f32::` constant)
+//!   is almost always a rounding bug waiting to happen; compare with an
+//!   epsilon, `total_cmp`, or `to_bits`. Intentional exact comparisons
+//!   (sparsity fast paths in the kernels) carry an annotation. Test code
+//!   is exempt — asserting exact reproducibility is the point there.
 //! * `hermetic-manifest` — every manifest dependency must be a local
 //!   `path` crate (see [`crate::manifest`]).
 //!
@@ -43,17 +49,19 @@ pub enum RuleId {
     NoPanicPath,
     NoPerNodeAlloc,
     NoUnseededRng,
+    NoFloatEq,
     HermeticManifest,
 }
 
 impl RuleId {
-    pub const ALL: [RuleId; 7] = [
+    pub const ALL: [RuleId; 8] = [
         RuleId::NoWallClock,
         RuleId::NoHashIterOrder,
         RuleId::NoUnsafe,
         RuleId::NoPanicPath,
         RuleId::NoPerNodeAlloc,
         RuleId::NoUnseededRng,
+        RuleId::NoFloatEq,
         RuleId::HermeticManifest,
     ];
 
@@ -65,6 +73,7 @@ impl RuleId {
             RuleId::NoPanicPath => "no-panic-path",
             RuleId::NoPerNodeAlloc => "no-per-node-alloc",
             RuleId::NoUnseededRng => "no-unseeded-rng",
+            RuleId::NoFloatEq => "no-float-eq",
             RuleId::HermeticManifest => "hermetic-manifest",
         }
     }
@@ -91,6 +100,9 @@ impl RuleId {
             }
             RuleId::NoUnseededRng => {
                 "entropy-seeded randomness (thread_rng/from_entropy/RandomState)"
+            }
+            RuleId::NoFloatEq => {
+                "==/!= on a float expression outside tests (epsilon/total_cmp)"
             }
             RuleId::HermeticManifest => "non-path dependency in a Cargo.toml",
         }
@@ -132,6 +144,9 @@ pub fn applies_to(rule: RuleId, path: &str) -> bool {
         // Seeded randomness is a workspace-wide invariant: tests and
         // benches replay too, so nothing is exempt.
         RuleId::NoUnseededRng => true,
+        // Float comparisons are a workspace-wide hazard; test regions are
+        // carved out by `skips_test_code` instead of a path scope.
+        RuleId::NoFloatEq => true,
         RuleId::HermeticManifest => false, // manifest rule, not a source rule
     }
 }
@@ -140,7 +155,10 @@ pub fn applies_to(rule: RuleId, path: &str) -> bool {
 fn skips_test_code(rule: RuleId) -> bool {
     matches!(
         rule,
-        RuleId::NoPanicPath | RuleId::NoHashIterOrder | RuleId::NoPerNodeAlloc
+        RuleId::NoPanicPath
+            | RuleId::NoHashIterOrder
+            | RuleId::NoPerNodeAlloc
+            | RuleId::NoFloatEq
     )
 }
 
@@ -182,8 +200,125 @@ fn patterns(rule: RuleId) -> &'static [Pattern] {
             Pattern { needle: "rand::random", word: true },
             Pattern { needle: "RandomState", word: true },
         ],
+        // no-float-eq needs operand analysis, not a literal needle; see
+        // `has_float_eq`.
+        RuleId::NoFloatEq => &[],
         RuleId::HermeticManifest => &[],
     }
+}
+
+/// Is `tok` a float-typed token: a float literal (`0.5`, `1_000.25`), a
+/// suffixed literal (`1f64`, `2.5f32`), or an `f64::`/`f32::` const path
+/// (`f64::EPSILON`, `std::f32::consts::PI`)?
+fn is_float_token(tok: &str) -> bool {
+    if tok.is_empty() {
+        return false;
+    }
+    if tok.contains("f64::") || tok.contains("f32::") {
+        return true;
+    }
+    let (digits, suffixed) = match tok.strip_suffix("f64").or_else(|| tok.strip_suffix("f32")) {
+        Some(rest) => (rest, true),
+        None => (tok, false),
+    };
+    if digits.is_empty()
+        || !digits.chars().all(|c| c.is_ascii_digit() || c == '_' || c == '.')
+        || !digits.chars().any(|c| c.is_ascii_digit())
+    {
+        return false;
+    }
+    if suffixed {
+        return true; // 1f64, 2.5f32
+    }
+    // A bare literal needs a decimal point directly after a digit, so
+    // tuple-field access (`x.0`) and integers stay silent.
+    let b = digits.as_bytes();
+    (1..b.len()).any(|i| b[i] == b'.' && b[i - 1].is_ascii_digit())
+}
+
+/// Trailing operand token of the text left of the operator.
+fn trailing_token(text: &str) -> &str {
+    let t = text.trim_end();
+    let mut start = t.len();
+    for (i, c) in t.char_indices().rev() {
+        if is_ident(c) || c == '.' || c == ':' {
+            start = i;
+        } else {
+            break;
+        }
+    }
+    &t[start..]
+}
+
+/// Leading operand token of the text right of the operator.
+fn leading_token(text: &str) -> &str {
+    let mut end = 0;
+    for (i, c) in text.char_indices() {
+        if is_ident(c) || c == '.' || c == ':' {
+            end = i + c.len_utf8();
+        } else {
+            break;
+        }
+    }
+    &text[..end]
+}
+
+/// Is the expression ending at the operator float-typed (as far as a
+/// line-local scan can tell)?
+fn left_is_float(text: &str) -> bool {
+    let t = text.trim_end();
+    // `<expr> as f64 ==` — a cast right before the operator.
+    if let Some(head) = t.strip_suffix("f64").or_else(|| t.strip_suffix("f32")) {
+        let head = head.trim_end();
+        if let Some(h) = head.strip_suffix("as") {
+            if h.chars().next_back().is_some_and(|c| !is_ident(c)) {
+                return true;
+            }
+        }
+    }
+    is_float_token(trailing_token(t))
+}
+
+/// Is the expression starting after the operator float-typed?
+fn right_is_float(text: &str) -> bool {
+    let t = text.trim_start();
+    let t = t.strip_prefix('-').unwrap_or(t).trim_start();
+    let tok = leading_token(t);
+    if is_float_token(tok) {
+        return true;
+    }
+    // `== <expr> as f64` — a cast right after the first operand.
+    let rest = t[tok.len()..].trim_start();
+    rest.starts_with("as f64") || rest.starts_with("as f32")
+}
+
+/// Does this (masked) line compare a float expression with `==` / `!=`?
+/// Only the tokens adjacent to each operator are examined, so integer
+/// comparisons sitting next to float arithmetic (`n == 0` on a line that
+/// later mentions `0.0`) stay silent.
+fn has_float_eq(line: &str) -> bool {
+    let b = line.as_bytes();
+    let mut i = 0;
+    while i + 1 < b.len() {
+        let eq = b[i] == b'=' && b[i + 1] == b'=';
+        let ne = b[i] == b'!' && b[i + 1] == b'=';
+        if !(eq || ne) {
+            i += 1;
+            continue;
+        }
+        // `<=`, `>=`, `=>` never produce a bare `==`; but guard against
+        // scanning the tail of `===`-like runs and `!==` typo-land.
+        if eq && i > 0 && matches!(b[i - 1], b'=' | b'!' | b'<' | b'>') {
+            i += 1;
+            continue;
+        }
+        // Both indices sit on ASCII bytes, so the slices are char-safe.
+        if left_is_float(&line[..i]) || right_is_float(&line[i + 2..]) {
+            return true;
+        }
+        i += 2;
+    }
+    false
 }
 
 /// A literal token to search for in masked code.
@@ -247,6 +382,19 @@ pub fn check_masked(
                 continue;
             }
             if loops_only && !masked.is_loop_line(line_no) {
+                continue;
+            }
+            if rule == RuleId::NoFloatEq {
+                if has_float_eq(line) && !masked.is_allowed(rule.name(), line_no) {
+                    out.push(Diagnostic {
+                        rule,
+                        path: path.to_string(),
+                        line: line_no,
+                        message: "float `==`/`!=` comparison (use an epsilon, \
+                                  total_cmp, or to_bits)"
+                            .to_string(),
+                    });
+                }
                 continue;
             }
             for p in patterns(rule) {

@@ -1,0 +1,36 @@
+// Fixture for no-float-eq. Expected hits: lines 4, 6, 8, 10, 12, 14.
+fn f(x: f64, n: usize, v: (u32, f64)) -> bool {
+    // Literal on the right:
+    let a = x == 0.0;
+    // Literal on the left, not-equals:
+    let b = 1.5 != x;
+    // Suffixed literals:
+    let c = x == 1f64;
+    // Cast right before the operator:
+    let d = n as f64 == x;
+    // Cast right after the first operand:
+    let e = x != n as f32;
+    // Float const paths:
+    let g = x == f64::EPSILON;
+    // Decoys that must stay silent: integers, tuple fields, compounds.
+    let h = n == 0;
+    let i = v.0 == 3;
+    let j = x <= 0.5 && x >= 0.1;
+    let k = if n == 0 { 0.0 } else { x };
+    // let masked = x == 0.0; (comment decoy)
+    let s = "x == 0.0";
+    // bao-lint: allow(no-float-eq) — exact sentinel check is intentional
+    let w = x == 12.5;
+    let _ = (a, b, c, d, e, g, h, i, j, k, s, w);
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exact_bits_are_the_point_here() {
+        assert!(super::f(0.0, 0, (0, 0.0)) == true);
+        let y = 0.25;
+        assert!(y == 0.25); // test code is exempt
+    }
+}

@@ -118,6 +118,26 @@ fn no_unseeded_rng_fires_at_exact_lines() {
 }
 
 #[test]
+fn no_float_eq_fires_at_exact_lines() {
+    let src = include_str!("fixtures/no_float_eq.rs");
+    // Lines 4-14 (every other): literal/suffixed/cast/const comparisons.
+    // Integer comparisons (16-17, 19), compound operators (18), masked
+    // decoys (20-21), the pragma'd sentinel (23), and the #[cfg(test)]
+    // module (32, 34) stay silent.
+    assert_eq!(
+        lines_for(RuleId::NoFloatEq, "crates/core/src/fixture.rs", src),
+        vec![4, 6, 8, 10, 12, 14]
+    );
+    // The rule applies workspace-wide — even the timing harness — but
+    // integration-test targets are wholly test code.
+    assert_eq!(
+        lines_for(RuleId::NoFloatEq, "crates/bench/src/timing.rs", src),
+        vec![4, 6, 8, 10, 12, 14]
+    );
+    assert_eq!(lines_for(RuleId::NoFloatEq, "crates/plan/tests/fixture.rs", src), vec![]);
+}
+
+#[test]
 fn allow_file_pragma_waives_whole_file() {
     let src = format!(
         "// bao-lint: allow-file(no-panic-path)\n{}",

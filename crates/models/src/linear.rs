@@ -65,7 +65,7 @@ fn solve(mut a: Vec<f64>, mut b: Vec<f64>, n: usize) -> Option<Vec<f64>> {
         let d = a[col * n + col];
         for r in (col + 1)..n {
             let f = a[r * n + col] / d;
-            if f == 0.0 {
+            if f == 0.0 { // bao-lint: allow(no-float-eq) — exact-zero pivot-row skip
                 continue;
             }
             for j in col..n {

@@ -169,7 +169,7 @@ fn dedup_forest(trees: &[&FeatTree]) -> (Vec<usize>, Vec<usize>) {
 fn axpy_row(yi: &mut [f32], xi: &[f32], wt: &[f32]) {
     let rows = yi.len();
     for (k, &xv) in xi.iter().enumerate() {
-        if xv == 0.0 {
+        if xv == 0.0 { // bao-lint: allow(no-float-eq) — exact-zero sparsity skip
             continue;
         }
         let wk = &wt[k * rows..(k + 1) * rows];

@@ -105,7 +105,7 @@ impl Param {
         debug_assert_eq!(dy.len(), self.rows);
         debug_assert_eq!(dx.len(), self.cols);
         for (r, &d) in dy.iter().enumerate() {
-            if d == 0.0 {
+            if d == 0.0 { // bao-lint: allow(no-float-eq) — exact-zero sparsity skip
                 continue;
             }
             let row = &self.w[r * self.cols..(r + 1) * self.cols];
@@ -120,7 +120,7 @@ impl Param {
         debug_assert_eq!(dy.len(), self.rows);
         debug_assert_eq!(x.len(), self.cols);
         for (r, &d) in dy.iter().enumerate() {
-            if d == 0.0 {
+            if d == 0.0 { // bao-lint: allow(no-float-eq) — exact-zero sparsity skip
                 continue;
             }
             let row = &mut self.g[r * self.cols..(r + 1) * self.cols];
@@ -167,7 +167,7 @@ impl Param {
             let xi = &x[i * c..(i + 1) * c];
             let yi = &mut y[i * rows..(i + 1) * rows];
             for (k, &xv) in xi.iter().enumerate() {
-                if xv == 0.0 {
+                if xv == 0.0 { // bao-lint: allow(no-float-eq) — exact-zero sparsity skip
                     continue;
                 }
                 let wk = &wt[k * rows..(k + 1) * rows];
@@ -219,7 +219,7 @@ impl Param {
             let xj = &x[j * c..(j + 1) * c];
             let yi = &mut y[i * rows..(i + 1) * rows];
             for (k, &xv) in xj.iter().enumerate() {
-                if xv == 0.0 {
+                if xv == 0.0 { // bao-lint: allow(no-float-eq) — exact-zero sparsity skip
                     continue;
                 }
                 let wk = &wt[k * rows..(k + 1) * rows];
@@ -266,7 +266,7 @@ impl Param {
             let xi = &x[i * c..(i + 1) * c];
             let yi = &mut y[i * rows..(i + 1) * rows];
             for (k, &xv) in xi.iter().enumerate() {
-                if xv == 0.0 {
+                if xv == 0.0 { // bao-lint: allow(no-float-eq) — exact-zero sparsity skip
                     continue;
                 }
                 let wk = &wt[k * rows..(k + 1) * rows];
@@ -305,7 +305,7 @@ impl Param {
             let xj = &x[j * c..(j + 1) * c];
             let yi = &mut y[i * rows..(i + 1) * rows];
             for (k, &xv) in xj.iter().enumerate() {
-                if xv == 0.0 {
+                if xv == 0.0 { // bao-lint: allow(no-float-eq) — exact-zero sparsity skip
                     continue;
                 }
                 let wk = &wt[k * rows..(k + 1) * rows];
@@ -328,7 +328,7 @@ impl Param {
             let dyi = &dy[i * rows..(i + 1) * rows];
             let dxi = &mut dx[i * c..(i + 1) * c];
             for (r, &d) in dyi.iter().enumerate() {
-                if d == 0.0 {
+                if d == 0.0 { // bao-lint: allow(no-float-eq) — exact-zero sparsity skip
                     continue;
                 }
                 let wr = &self.w[r * c..(r + 1) * c];
@@ -352,7 +352,7 @@ impl Param {
             let dyi = &dy[i * rows..(i + 1) * rows];
             let xi = &x[i * c..(i + 1) * c];
             for (r, &d) in dyi.iter().enumerate() {
-                if d == 0.0 {
+                if d == 0.0 { // bao-lint: allow(no-float-eq) — exact-zero sparsity skip
                     continue;
                 }
                 let row = &mut self.g[r * c..(r + 1) * c];

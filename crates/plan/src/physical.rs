@@ -5,7 +5,8 @@
 //! cumulative cost — the two numeric features of Figure 4's vectors.
 
 use crate::logical::{AggFunc, ColRef, JoinPred, Predicate};
-use bao_common::json::{Json, ToJson};
+use bao_common::json::{self, FromJson, Json, ToJson};
+use bao_common::{BaoError, Result};
 use std::fmt;
 
 /// Scan strategies (the scan half of the hint-set space).
@@ -121,6 +122,58 @@ impl ToJson for Operator {
     }
 }
 
+impl FromJson for Operator {
+    fn from_json(j: &Json) -> Result<Operator> {
+        if let Some(v) = j.get("SeqScan") {
+            return Ok(Operator::SeqScan {
+                table: json::field(v, "table")?,
+                preds: json::field(v, "preds")?,
+            });
+        }
+        if let Some(v) = j.get("IndexScan") {
+            return Ok(Operator::IndexScan {
+                table: json::field(v, "table")?,
+                column: json::field(v, "column")?,
+                lo: json::field(v, "lo")?,
+                hi: json::field(v, "hi")?,
+                residual: json::field(v, "residual")?,
+                param: json::field(v, "param")?,
+            });
+        }
+        if let Some(v) = j.get("IndexOnlyScan") {
+            return Ok(Operator::IndexOnlyScan {
+                table: json::field(v, "table")?,
+                column: json::field(v, "column")?,
+                lo: json::field(v, "lo")?,
+                hi: json::field(v, "hi")?,
+                param: json::field(v, "param")?,
+            });
+        }
+        if let Some(v) = j.get("NestedLoopJoin") {
+            return Ok(Operator::NestedLoopJoin { pred: json::field(v, "pred")? });
+        }
+        if let Some(v) = j.get("HashJoin") {
+            return Ok(Operator::HashJoin { pred: json::field(v, "pred")? });
+        }
+        if let Some(v) = j.get("MergeJoin") {
+            return Ok(Operator::MergeJoin { pred: json::field(v, "pred")? });
+        }
+        if let Some(v) = j.get("Filter") {
+            return Ok(Operator::Filter { preds: json::field(v, "preds")? });
+        }
+        if let Some(v) = j.get("Sort") {
+            return Ok(Operator::Sort { keys: json::field(v, "keys")? });
+        }
+        if let Some(v) = j.get("Aggregate") {
+            return Ok(Operator::Aggregate {
+                group_by: json::field(v, "group_by")?,
+                aggs: json::field(v, "aggs")?,
+            });
+        }
+        Err(BaoError::Parse("unknown physical operator variant".into()))
+    }
+}
+
 /// Operator kinds for one-hot featurization. `Null` is the padding child
 /// inserted by plan binarization (paper Figure 3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -224,6 +277,17 @@ impl ToJson for PlanNode {
             ("est_rows", self.est_rows.to_json()),
             ("est_cost", self.est_cost.to_json()),
         ])
+    }
+}
+
+impl FromJson for PlanNode {
+    fn from_json(j: &Json) -> Result<PlanNode> {
+        Ok(PlanNode {
+            op: json::field(j, "op")?,
+            children: json::field(j, "children")?,
+            est_rows: json::field(j, "est_rows")?,
+            est_cost: json::field(j, "est_cost")?,
+        })
     }
 }
 
@@ -446,6 +510,44 @@ mod tests {
                 OpKind::SeqScan,
             ]
         );
+    }
+
+    #[test]
+    fn plan_node_round_trips_through_json() {
+        // Cover every operator variant at least once: the join_plan tree
+        // (agg, hash/NL joins, seq/index scans) plus the remaining four.
+        let mut sorted = PlanNode::new(
+            Operator::Sort { keys: vec![ColRef::new(2, "id")] },
+            vec![PlanNode::new(
+                Operator::IndexOnlyScan {
+                    table: 2,
+                    column: "id".into(),
+                    lo: Some(5),
+                    hi: None,
+                    param: None,
+                },
+                vec![],
+            )],
+        );
+        sorted = PlanNode::new(
+            Operator::Filter {
+                preds: vec![JoinPred::new(ColRef::new(0, "a"), ColRef::new(2, "id"))],
+            },
+            vec![PlanNode::new(
+                Operator::MergeJoin {
+                    pred: JoinPred::new(ColRef::new(0, "a"), ColRef::new(2, "id")),
+                },
+                vec![join_plan().with_estimates(7.0, 99.5), sorted],
+            )],
+        );
+        let j = sorted.to_json();
+        let back = PlanNode::from_json(&j).expect("decode plan");
+        assert_eq!(back, sorted);
+        // Byte-stable: encode → decode → encode is the identity.
+        assert_eq!(back.to_json().to_string(), j.to_string());
+        // Unknown variants are rejected, not silently mangled.
+        let bogus = Json::obj([("TeleportScan", Json::obj([]))]);
+        assert!(Operator::from_json(&bogus).is_err());
     }
 
     #[test]

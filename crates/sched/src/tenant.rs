@@ -1,0 +1,203 @@
+//! Tenant registry: weights, priority classes, rate limits, and queue
+//! bounds. A tenant is identified by its index into
+//! [`SchedConfig::tenants`](crate::SchedConfig).
+
+use bao_common::SimDuration;
+
+/// Index into the tenant registry (`SchedConfig::tenants`).
+pub type TenantId = usize;
+
+/// Strict priority class. The wave former exhausts every eligible
+/// query of a higher class before a lower class contributes anything;
+/// DRR fairness (weights, deficits) applies *within* a class only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Priority {
+    /// Latency-sensitive foreground traffic.
+    Interactive,
+    /// Default class.
+    Normal,
+    /// Bulk / analytics traffic; runs only when nothing above is ready.
+    Background,
+}
+
+impl Priority {
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Normal => "normal",
+            Priority::Background => "background",
+        }
+    }
+}
+
+/// Token-bucket parameters. `capacity` bounds the burst a tenant can
+/// dispatch at once; `per_sec` is the sustained refill rate, both in
+/// units of queries.
+#[derive(Debug, Clone, Copy)]
+pub struct RateLimit {
+    pub capacity: f64,
+    pub per_sec: f64,
+}
+
+/// One tenant's admission contract.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    pub name: String,
+    /// DRR weight: queries credited per round relative to peers in the
+    /// same priority class. Must be ≥ 1 (zero-weight tenants would
+    /// starve, defeating the bounded-service guarantee).
+    pub weight: u32,
+    pub priority: Priority,
+    /// `None` = unlimited (no token bucket).
+    pub rate: Option<RateLimit>,
+    /// Bound on the tenant's queue depth; queries released while the
+    /// queue is at or past this depth are *shed* — still executed, but
+    /// degraded to arm 0 without TCNN scoring. `None` = unbounded.
+    pub queue_depth: Option<usize>,
+}
+
+impl TenantSpec {
+    /// An unconstrained tenant: weight 1, normal priority, no rate
+    /// limit, unbounded queue.
+    pub fn new(name: impl Into<String>) -> TenantSpec {
+        TenantSpec {
+            name: name.into(),
+            weight: 1,
+            priority: Priority::Normal,
+            rate: None,
+            queue_depth: None,
+        }
+    }
+
+    pub fn with_weight(mut self, weight: u32) -> TenantSpec {
+        self.weight = weight;
+        self
+    }
+
+    pub fn with_priority(mut self, priority: Priority) -> TenantSpec {
+        self.priority = priority;
+        self
+    }
+
+    pub fn with_rate(mut self, capacity: f64, per_sec: f64) -> TenantSpec {
+        self.rate = Some(RateLimit { capacity, per_sec });
+        self
+    }
+
+    pub fn with_queue_depth(mut self, depth: usize) -> TenantSpec {
+        self.queue_depth = Some(depth);
+        self
+    }
+}
+
+/// Deterministic token bucket over sim-time. Tokens refill continuously
+/// at `per_sec` up to `capacity`; each dispatch takes one token.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    capacity: f64,
+    per_sec: f64,
+    tokens: f64,
+    last_refill: SimDuration,
+}
+
+impl TokenBucket {
+    /// A full bucket at sim-time zero.
+    pub fn new(limit: RateLimit) -> TokenBucket {
+        TokenBucket {
+            capacity: limit.capacity.max(1.0),
+            per_sec: limit.per_sec.max(0.0),
+            tokens: limit.capacity.max(1.0),
+            last_refill: SimDuration::ZERO,
+        }
+    }
+
+    fn refill(&mut self, now: SimDuration) {
+        if now > self.last_refill {
+            let gained = (now - self.last_refill).as_secs() * self.per_sec;
+            self.tokens = (self.tokens + gained).min(self.capacity);
+            self.last_refill = now;
+        }
+    }
+
+    /// Tokens available at `now`, without mutating the bucket.
+    fn tokens_at(&self, now: SimDuration) -> f64 {
+        let gained = (now - self.last_refill).max(SimDuration::ZERO).as_secs() * self.per_sec;
+        (self.tokens + gained).min(self.capacity)
+    }
+
+    /// Whether a dispatch at `now` would be admitted.
+    pub fn ready(&self, now: SimDuration) -> bool {
+        self.tokens_at(now) >= 1.0
+    }
+
+    /// Take one token at `now`; returns false (and takes nothing) if the
+    /// bucket holds less than one token.
+    pub fn try_take(&mut self, now: SimDuration) -> bool {
+        self.refill(now);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Earliest sim-time at or after `now` when one token is available.
+    /// Returns `None` when the refill rate is zero and the bucket is dry
+    /// (the tenant can never dispatch again). A small epsilon is added so
+    /// that advancing the clock to the returned instant always makes
+    /// [`TokenBucket::ready`] true despite float rounding.
+    pub fn ready_at(&self, now: SimDuration) -> Option<SimDuration> {
+        let have = self.tokens_at(now);
+        if have >= 1.0 {
+            return Some(now);
+        }
+        if self.per_sec <= 0.0 {
+            return None;
+        }
+        let wait = SimDuration::from_secs((1.0 - have) / self.per_sec);
+        Some(now + wait + SimDuration::from_ms(1e-6))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_refills_and_caps_at_capacity() {
+        let mut b = TokenBucket::new(RateLimit { capacity: 2.0, per_sec: 1.0 });
+        // Starts full: two takes succeed, third fails.
+        assert!(b.try_take(SimDuration::ZERO));
+        assert!(b.try_take(SimDuration::ZERO));
+        assert!(!b.try_take(SimDuration::ZERO));
+        // After 1 simulated second, exactly one token is back.
+        let t1 = SimDuration::from_secs(1.0);
+        assert!(b.ready(t1));
+        assert!(b.try_take(t1));
+        assert!(!b.try_take(t1));
+        // Refill never exceeds capacity.
+        let t100 = SimDuration::from_secs(100.0);
+        assert!(b.try_take(t100));
+        assert!(b.try_take(t100));
+        assert!(!b.try_take(t100));
+    }
+
+    #[test]
+    fn ready_at_advances_past_float_rounding() {
+        let mut b = TokenBucket::new(RateLimit { capacity: 1.0, per_sec: 3.0 });
+        assert!(b.try_take(SimDuration::ZERO));
+        let now = SimDuration::from_ms(1.0);
+        assert!(!b.ready(now));
+        let at = b.ready_at(now).expect("refilling bucket");
+        assert!(at > now);
+        assert!(b.ready(at), "bucket must be ready at its own ready_at instant");
+    }
+
+    #[test]
+    fn zero_rate_bucket_reports_never_ready() {
+        let mut b = TokenBucket::new(RateLimit { capacity: 1.0, per_sec: 0.0 });
+        assert!(b.try_take(SimDuration::ZERO));
+        assert_eq!(b.ready_at(SimDuration::from_secs(5.0)), None);
+    }
+}

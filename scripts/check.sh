@@ -4,10 +4,11 @@
 #                        report to results/lint_report.json
 #   2. check_hermetic  — static manifest scan (via bao-lint)
 #   3. build + test    — tier-1: cargo build --release && cargo test -q
-#   4. bench smoke     — opt-in via --bench-smoke: inference_bench and
-#                        serving_bench, each --quick --gate, failing on a
-#                        gated regression against
-#                        results/bench_baselines.json (DESIGN.md §8, §9)
+#   4. bench smoke     — opt-in via --bench-smoke: inference_bench,
+#                        serving_bench, and sched_bench, each
+#                        --quick --gate, failing on a gated regression
+#                        against results/bench_baselines.json
+#                        (DESIGN.md §8, §9, §10)
 #
 # Run from anywhere; operates on the repo containing this script.
 set -euo pipefail
@@ -45,6 +46,9 @@ if [ "$bench_smoke" = 1 ]; then
     echo
     echo "== bench smoke (serving_bench --quick --gate) =="
     cargo run -q --release -p bao-bench --bin serving_bench -- --quick --gate
+    echo
+    echo "== bench smoke (sched_bench --quick --gate) =="
+    cargo run -q --release -p bao-bench --bin sched_bench -- --quick --gate
 fi
 
 echo
