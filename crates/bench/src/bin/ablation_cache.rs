@@ -4,6 +4,7 @@
 //! information about the cache, Bao can learn how to change query plans
 //! based on the cache state." The warm-cache IMDb run exercises this.
 
+use bao_bench::timing::note_headlines;
 use bao_bench::{bao_settings, build_workload, print_header, Args, Table, WorkloadName};
 use bao_cloud::N1_16;
 use bao_harness::{RunConfig, Runner, Strategy};
@@ -21,6 +22,7 @@ fn main() {
 
     let (db, wl) = build_workload(WorkloadName::Imdb, scale, n, seed).expect("workload");
     let mut t = Table::new(&["Featurization", "Exec (s)", "p99 (ms)"]);
+    let mut totals: Vec<f64> = Vec::new();
     for (label, cache) in [("with cache features", true), ("without cache features", false)] {
         let mut s = bao_settings(6, n);
         s.cache_features = cache;
@@ -28,6 +30,7 @@ fn main() {
         cfg.seed = seed;
         let res = Runner::new(cfg, db.clone()).run(&wl).expect("run");
         let p99 = bao_common::stats::percentile(&res.latencies_ms(), 99.0);
+        totals.push(res.total_exec.as_secs());
         t.row(vec![
             label.to_string(),
             format!("{:.2}", res.total_exec.as_secs()),
@@ -35,4 +38,9 @@ fn main() {
         ]);
     }
     t.print();
+    // Headline: exec-time gain from letting the model see cache state.
+    note_headlines(
+        &[("abl_cache_features_speedup", totals[1] / totals[0].max(1e-9))],
+        args.has("update-baseline"),
+    );
 }

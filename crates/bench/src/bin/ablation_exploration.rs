@@ -6,6 +6,7 @@
 //! MLE model "never tries alternative strategies, never learns when we
 //! are wrong".
 
+use bao_bench::timing::note_headlines;
 use bao_bench::{bao_settings, build_workload, print_header, Args, Table, WorkloadName};
 use bao_cloud::N1_16;
 use bao_harness::{RunConfig, Runner, Strategy};
@@ -23,6 +24,7 @@ fn main() {
 
     let (db, wl) = build_workload(WorkloadName::Imdb, scale, n, seed).expect("workload");
     let mut t = Table::new(&["Training", "Mean exec (s)", "Worst seed (s)"]);
+    let mut means: Vec<f64> = Vec::new();
     for (label, bootstrap) in
         [("bootstrap (Thompson)", true), ("full window (greedy MLE)", false)]
     {
@@ -37,7 +39,13 @@ fn main() {
         }
         let mean = totals.iter().sum::<f64>() / totals.len() as f64;
         let worst = totals.iter().cloned().fold(0.0f64, f64::max);
+        means.push(mean);
         t.row(vec![label.to_string(), format!("{mean:.2}"), format!("{worst:.2}")]);
     }
     t.print();
+    // Headline: mean exec-time gain of Thompson sampling over greedy MLE.
+    note_headlines(
+        &[("abl_bootstrap_vs_mle_speedup", means[1] / means[0].max(1e-9))],
+        args.has("update-baseline"),
+    );
 }

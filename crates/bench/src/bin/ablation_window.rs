@@ -1,6 +1,7 @@
 //! Ablation (DESIGN.md §4): sliding-window size k and retrain period n —
 //! the §3.2 knobs trading model quality against training overhead.
 
+use bao_bench::timing::note_headlines;
 use bao_bench::{bao_settings, build_workload, print_header, Args, Table, WorkloadName};
 use bao_cloud::N1_16;
 use bao_harness::{RunConfig, Runner, Strategy};
@@ -18,6 +19,8 @@ fn main() {
 
     let (db, wl) = build_workload(WorkloadName::Imdb, scale, n, seed).expect("workload");
     let mut t = Table::new(&["k (window)", "n (retrain)", "Exec (s)", "GPU (s)", "Retrains"]);
+    let mut tiny_window_exec = 0.0f64;
+    let mut full_window_exec = 0.0f64;
     for (k, rn) in [(50, 50), (150, 50), (n, 50), (n, 25), (n, 100)] {
         let mut s = bao_settings(6, n);
         s.window = k;
@@ -26,6 +29,13 @@ fn main() {
         cfg.seed = seed;
         let res = Runner::new(cfg, db.clone()).run(&wl).expect("run");
         let retrains = res.records.iter().filter(|r| r.gpu_time.as_ms() > 0.0).count();
+        if rn == 50 {
+            if k == 50 {
+                tiny_window_exec = res.total_exec.as_secs();
+            } else if k == n {
+                full_window_exec = res.total_exec.as_secs();
+            }
+        }
         t.row(vec![
             format!("{k}"),
             format!("{rn}"),
@@ -38,4 +48,9 @@ fn main() {
     println!();
     println!("Too small a window forgets the catastrophic plans Bao learned to avoid;");
     println!("frequent retraining costs GPU time for little extra quality.");
+    // Headline: what the full window buys over a forgetful k = 50 one.
+    note_headlines(
+        &[("abl_window_full_vs_tiny_speedup", tiny_window_exec / full_window_exec.max(1e-9))],
+        args.has("update-baseline"),
+    );
 }

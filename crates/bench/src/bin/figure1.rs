@@ -6,6 +6,7 @@
 //! 10 is the 24b analogue (a single-title probe where the parameterized
 //! nested loop is exactly right and forcing it off is disastrous).
 
+use bao_bench::timing::note_headlines;
 use bao_bench::{print_header, Args, Table};
 use bao_common::rng_from_seed;
 use bao_exec::{execute, ChargeRates};
@@ -31,6 +32,7 @@ fn main() {
     let no_loop = HintSet::from_masks(0b011, 0b111);
 
     let mut table = Table::new(&["Query", "PostgreSQL plan", "No loop join", "Ratio"]);
+    let mut headlines: Vec<(&str, f64)> = Vec::new();
     for (label, template) in [("16b-like (imdb/q09)", 9usize), ("24b-like (imdb/q10)", 10)] {
         let mut rng = rng_from_seed(seed + 1);
         let (_, q) = instantiate_template(template, scale, &mut rng);
@@ -48,9 +50,17 @@ fn main() {
             format!("{:.1} ms", latencies[1]),
             format!("{:.2}x", latencies[1] / latencies[0]),
         ]);
+        // Both headlines are "strength of the figure's claim": how much
+        // the hint helps 16b and how badly it burns 24b.
+        if template == 9 {
+            headlines.push(("fig1_16b_hint_speedup", latencies[0] / latencies[1]));
+        } else {
+            headlines.push(("fig1_24b_hint_slowdown", latencies[1] / latencies[0]));
+        }
     }
     table.print();
     println!();
     println!("A ratio < 1 means the hint helps (16b); > 1 means it hurts (24b) —");
     println!("no single hint set is right for every query, which is Bao's premise.");
+    note_headlines(&headlines, args.has("update-baseline"));
 }

@@ -6,6 +6,7 @@
 //! The paper finds only 3 of 113 regress, all under 3 seconds, while ten
 //! queries improve by over 20 seconds.
 
+use bao_bench::timing::note_headlines;
 use bao_bench::{bao_settings, print_header, Args, Table};
 use bao_cloud::N1_16;
 use bao_common::stats::median;
@@ -126,4 +127,14 @@ fn main() {
         }
     }
     println!("\nbiggest improvements: {:?} ms", &worst[..3.min(worst.len())]);
+    // Headlines: the figure's claim is "many improve, almost none
+    // regress" on held-out queries — track both fractions.
+    let total = job.len().max(1) as f64;
+    note_headlines(
+        &[
+            ("fig11_job_improved_frac", improved as f64 / total),
+            ("fig11_job_non_regressed_frac", (job.len() - regressions.len()) as f64 / total),
+        ],
+        args.has("update-baseline"),
+    );
 }

@@ -7,6 +7,7 @@
 //! (poor inductive bias). On the dynamic workload neither Neo nor DQ
 //! catches Bao within the time budget.
 
+use bao_bench::timing::note_headlines;
 use bao_bench::{bao_settings, print_header, Args, Table};
 use bao_cloud::N1_16;
 use bao_baselines::LearnedOptimizer;
@@ -65,6 +66,7 @@ fn main() {
                   and fail to catch Bao under workload drift)"),
     );
 
+    let mut headlines: Vec<(&str, f64)> = Vec::new();
     for (panel, dynamic) in [("(a) stable workload", false), ("(b) dynamic workload", true)] {
         println!("\n--- {panel}");
         let (db, wl) =
@@ -99,8 +101,20 @@ fn main() {
             ]);
         }
         t.print();
+        // Headline: within the time budget, how far ahead of Neo (the
+        // strongest unrestricted learner) Bao finishes each panel.
+        let total = |i: usize| *results[i].1.last().unwrap();
+        headlines.push((
+            if dynamic {
+                "fig14_dynamic_bao_vs_neo_speedup"
+            } else {
+                "fig14_stable_bao_vs_neo_speedup"
+            },
+            total(2) / total(1).max(1e-9),
+        ));
     }
     println!();
     println!("Cells are the elapsed time at which each system finished that fraction");
     println!("of the workload (lower is better).");
+    note_headlines(&headlines, args.has("update-baseline"));
 }

@@ -2,6 +2,7 @@
 //! q-error (0 = perfect) of its latency prediction for the *next* query's
 //! chosen plan, in a sliding window.
 
+use bao_bench::timing::note_headlines;
 use bao_bench::{bao_settings, build_workload, print_header, Args, Table, WorkloadName};
 use bao_cloud::N1_16;
 use bao_common::stats::{median, qerror_zero_based};
@@ -53,16 +54,24 @@ fn main() {
     }
 
     let mut t = Table::new(&["Queries processed", "Median q-error (window of 50)"]);
+    let mut final_qerror = f64::NAN;
     for end in (50..=errors.len()).step_by(50) {
         let window: Vec<f64> =
             errors[end.saturating_sub(50)..end].iter().map(|&(_, e)| e).collect();
+        final_qerror = median(&window);
         t.row(vec![
             format!("{}", errors[end - 1].0 + 1),
-            format!("{:.2}", median(&window)),
+            format!("{final_qerror:.2}"),
         ]);
     }
     t.print();
     println!();
     println!("(Predictions exist only once the model is first trained; despite early");
     println!("inaccuracy, selection avoids catastrophic plans — Figure 10's curves.)");
+    // Headline: end-of-run model accuracy, folded to larger-is-better
+    // (1 = perfect predictions, ->0 as q-error grows).
+    note_headlines(
+        &[("fig15b_final_accuracy", 1.0 / (1.0 + final_qerror))],
+        args.has("update-baseline"),
+    );
 }

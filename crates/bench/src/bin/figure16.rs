@@ -8,6 +8,7 @@
 //! CPU-trained Bao wins on CPU regret while an I/O-trained Bao wins on
 //! I/O regret (customizable optimization goals).
 
+use bao_bench::timing::note_headlines;
 use bao_bench::{bao_settings, build_workload, print_header, Args, Table, WorkloadName};
 use bao_cloud::N1_16;
 use bao_common::stats::{median, percentile};
@@ -40,6 +41,7 @@ fn main() {
     let rates = N1_16.charge_rates();
     let settings = bao_settings(6, n);
 
+    let mut headlines: Vec<(&str, f64)> = Vec::new();
     for (metric, unit, panel) in [
         (PerfMetric::CpuTime, "ms CPU", "(a) CPU time regret (Bao trained on CPU time)"),
         (PerfMetric::PhysicalIo, "page reads", "(b) physical I/O regret (Bao trained on I/O)"),
@@ -99,9 +101,23 @@ fn main() {
                 format!("{:.1}", median(&bao_regret)),
                 format!("{:.1}", percentile(&bao_regret, 98.0)),
             ]);
+            // Headline per panel: final-iteration tail-regret gain over
+            // PostgreSQL (+1 keeps a zero-regret tail finite).
+            if it == iterations - 1 {
+                headlines.push((
+                    if matches!(metric, PerfMetric::CpuTime) {
+                        "fig16_cpu_p98_regret_gain"
+                    } else {
+                        "fig16_io_p98_regret_gain"
+                    },
+                    (1.0 + percentile(&pg_regret, 98.0))
+                        / (1.0 + percentile(&bao_regret, 98.0)),
+                ));
+            }
         }
         t.print();
     }
+    note_headlines(&headlines, args.has("update-baseline"));
     println!();
     println!("Iteration 1 is pre-training (Bao = PostgreSQL); from iteration 2 on,");
     println!("Bao's tail regret drops below the traditional optimizer's.");

@@ -4,6 +4,7 @@
 //! (a) Bao on the PostgreSQL-like engine vs the PostgreSQL-like optimizer;
 //! (b) Bao on the ComSys-like engine vs the ComSys-like optimizer.
 
+use bao_bench::timing::note_headlines;
 use bao_bench::{bao_settings, build_workload, print_header, Args, Table, WorkloadName};
 use bao_cloud::N1_16;
 use bao_harness::{RunConfig, Runner, Strategy};
@@ -21,6 +22,7 @@ fn main() {
         &format!("(scale {scale}, {n} queries, {arms} arms; paper: ~50% vs PostgreSQL, ~20% vs ComSys)"),
     );
 
+    let mut headlines: Vec<(String, f64)> = Vec::new();
     for (profile, sys) in [
         (OptimizerProfile::PostgresLike, "PostgreSQL"),
         (OptimizerProfile::ComSysLike, "ComSys"),
@@ -41,6 +43,15 @@ fn main() {
                 results.push((label, res));
             }
             let trad_time = results[0].1.workload_time().as_secs();
+            // Headline: Bao's workload-time speedup over each traditional
+            // optimizer on the flagship workload.
+            if matches!(name, WorkloadName::Imdb) {
+                let bao_time = results[1].1.workload_time().as_secs();
+                headlines.push((
+                    format!("fig7_imdb_bao_vs_{}_speedup", sys.to_lowercase()),
+                    trad_time / bao_time.max(1e-9),
+                ));
+            }
             for (label, res) in &results {
                 let cost = res.cost(N1_16);
                 t.row(vec![
@@ -57,4 +68,5 @@ fn main() {
     println!();
     println!("Bao's rows include GPU training cost; the ratio column is Bao's");
     println!("workload time relative to the traditional optimizer (lower is better).");
+    note_headlines(&headlines, args.has("update-baseline"));
 }

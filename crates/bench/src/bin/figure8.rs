@@ -1,6 +1,7 @@
 //! Figure 8: cost and workload latency across four VM classes for the
 //! IMDb workload — (a) vs the PostgreSQL-like optimizer, (b) vs ComSys.
 
+use bao_bench::timing::note_headlines;
 use bao_bench::{bao_settings, build_workload, print_header, Args, Table, WorkloadName};
 use bao_cloud::ALL_VMS;
 use bao_harness::{RunConfig, Runner, Strategy};
@@ -21,6 +22,7 @@ fn main() {
     let (db, wl) =
         build_workload(WorkloadName::Imdb, scale, n, seed).expect("workload");
 
+    let mut headlines: Vec<(String, f64)> = Vec::new();
     for (profile, sys) in [
         (OptimizerProfile::PostgresLike, "PostgreSQL"),
         (OptimizerProfile::ComSysLike, "ComSys"),
@@ -41,6 +43,15 @@ fn main() {
                 results.push((label, res));
             }
             let trad = results[0].1.workload_time().as_secs();
+            // Headline: the claim is that Bao's edge over PostgreSQL
+            // grows with VM size — track its speedup per VM class.
+            if matches!(profile, OptimizerProfile::PostgresLike) {
+                let bao = results[1].1.workload_time().as_secs();
+                headlines.push((
+                    format!("fig8_{}_bao_speedup", vm.name.to_lowercase().replace('-', "_")),
+                    trad / bao.max(1e-9),
+                ));
+            }
             for (label, res) in &results {
                 t.row(vec![
                     vm.name.to_string(),
@@ -53,4 +64,5 @@ fn main() {
         }
         t.print();
     }
+    note_headlines(&headlines, args.has("update-baseline"));
 }

@@ -2,8 +2,10 @@
 //! for each VM class, Bao vs the PostgreSQL-like optimizer (top row) and
 //! Bao vs the ComSys-like optimizer (bottom row), IMDb workload.
 
+use bao_bench::timing::note_headlines;
 use bao_bench::{bao_settings, build_workload, percentile_row, print_header, Args, Table, WorkloadName};
-use bao_cloud::ALL_VMS;
+use bao_cloud::{ALL_VMS, N1_16};
+use bao_common::stats::percentile;
 use bao_harness::{RunConfig, Runner, Strategy};
 use bao_opt::OptimizerProfile;
 
@@ -23,6 +25,7 @@ fn main() {
 
     let (db, wl) = build_workload(WorkloadName::Imdb, scale, n, seed).expect("workload");
 
+    let mut headlines: Vec<(&str, f64)> = Vec::new();
     for (profile, sys) in [
         (OptimizerProfile::PostgresLike, "PostgreSQL"),
         (OptimizerProfile::ComSysLike, "ComSys"),
@@ -30,6 +33,7 @@ fn main() {
         println!("\n--- engine/optimizer: {sys}");
         for vm in ALL_VMS {
             let mut t = Table::new(&["System", "p50", "p95", "p99", "p99.5"]);
+            let mut lats: Vec<Vec<f64>> = Vec::new();
             for (label, strategy) in [
                 (sys.to_string(), Strategy::Traditional),
                 ("Bao".to_string(), Strategy::Bao(bao_settings(arms, n))),
@@ -38,10 +42,21 @@ fn main() {
                 cfg.profile = profile;
                 cfg.seed = seed;
                 let res = Runner::new(cfg, db.clone()).run(&wl).expect("run");
-                t.row(percentile_row(&label, &res.latencies_ms()));
+                let ls = res.latencies_ms();
+                t.row(percentile_row(&label, &ls));
+                lats.push(ls);
             }
             println!("[{}]", vm.name);
             t.print();
+            // Headline: the figure's claim is tail-latency reduction —
+            // track the p99 gain over PostgreSQL on the largest VM.
+            if matches!(profile, OptimizerProfile::PostgresLike) && vm.name == N1_16.name {
+                headlines.push((
+                    "fig9_n1_16_p99_gain",
+                    percentile(&lats[0], 99.0) / percentile(&lats[1], 99.0).max(1e-9),
+                ));
+            }
         }
     }
+    note_headlines(&headlines, args.has("update-baseline"));
 }

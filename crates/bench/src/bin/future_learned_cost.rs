@@ -5,6 +5,7 @@
 //! (b) a trained TCNN's predictions *rank* plans by true latency, over
 //! plans drawn from all hint sets — the property a cost model needs.
 
+use bao_bench::timing::note_headlines;
 use bao_bench::{build_workload, print_header, Args, Table, WorkloadName};
 use bao_cloud::N1_16;
 use bao_core::Featurizer;
@@ -93,13 +94,14 @@ fn main() {
     }
 
     let mut t = Table::new(&["Cost model", "Spearman rank corr. with true latency"]);
+    let tcnn_rho = spearman(&tcnn_pred, &true_ms);
     t.row(vec![
         "traditional cost model".into(),
         format!("{:.3}", spearman(&planner_cost, &true_ms)),
     ]);
     t.row(vec![
         "trained TCNN".into(),
-        format!("{:.3}", spearman(&tcnn_pred, &true_ms)),
+        format!("{tcnn_rho:.3}"),
     ]);
     t.print();
     println!();
@@ -111,4 +113,6 @@ fn main() {
          ({} held-out plan executions scored.)",
         n, true_ms.len()
     );
+    // Headline: rank fidelity of the TCNN as a drop-in cost model.
+    note_headlines(&[("flc_tcnn_spearman", tcnn_rho)], args.has("update-baseline"));
 }

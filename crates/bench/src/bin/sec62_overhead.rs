@@ -4,20 +4,12 @@
 //! (2) maximum per-query optimization times (paper: PostgreSQL 140ms,
 //! ComSys 165ms, Bao 230ms with parallel arm planning).
 
-use bao_bench::timing::{BaselineStore, Comparison};
+use bao_bench::timing::note_headlines;
 use bao_bench::{bao_settings, build_workload, print_header, Args, Table, WorkloadName};
 use bao_cloud::N1_16;
 use bao_harness::{RunConfig, Runner, Strategy};
 use bao_opt::OptimizerProfile;
 use bao_workloads::Workload;
-
-/// Warn threshold on recorded metrics (never gated: this is an
-/// end-to-end figure binary, the first one wired into the store).
-const TOLERANCE: f64 = 0.20;
-
-fn baseline_path() -> std::path::PathBuf {
-    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/bench_baselines.json")
-}
 
 fn main() {
     let args = Args::from_env();
@@ -92,50 +84,23 @@ fn main() {
     println!("On a workload of already-optimal queries Bao can only add overhead");
     println!("(its optimization-time increase), mirroring the paper's 4.2m -> 4.5m.");
 
-    // --- Baseline tracking (warn-only: end-to-end figure numbers are
-    // simulated and deterministic, but changes to the planner or the
-    // cloud model legitimately move them; the record exists so such
-    // moves are *seen*, not to fail CI). Larger-is-better convention,
-    // so times are recorded as rates/ratios.
+    // Larger-is-better convention: times become rates/ratios.
     let by = |v: &[(&str, f64)], label: &str| {
         v.iter().find(|(l, _)| *l == label).map(|&(_, x)| x).unwrap_or(f64::NAN)
     };
-    let metrics = [
-        // Optimization throughput per system (queries / opt-second).
-        ("sec62_pg_opt_queries_per_sec", 1_000.0 / by(&mean_opts, "PostgreSQL")),
-        ("sec62_comsys_opt_queries_per_sec", 1_000.0 / by(&mean_opts, "ComSys")),
-        ("sec62_bao_opt_queries_per_sec", 1_000.0 / by(&mean_opts, "Bao")),
-        // Bao's end-to-end closeness to PostgreSQL on this worst-case
-        // workload (1.0 = no overhead; the paper's 4.2m / 4.5m ≈ 0.93).
-        (
-            "sec62_bao_vs_pg_workload_ratio",
-            by(&workload_secs, "PostgreSQL") / by(&workload_secs, "Bao"),
-        ),
-    ];
-    println!();
-    let mut store = BaselineStore::load(&baseline_path()).expect("load baselines");
-    for (name, value) in metrics {
-        match store.compare(name, value, TOLERANCE) {
-            Comparison::New => {
-                println!("baseline {name}: recorded {value:.3} (new)");
-                store.record(name, value);
-            }
-            Comparison::Ok { ratio } => {
-                println!("baseline {name}: {value:.3} ({:.0}% of baseline) ok", ratio * 100.0);
-                if update {
-                    store.record(name, value);
-                }
-            }
-            Comparison::Regressed { ratio } => {
-                println!(
-                    "WARNING: {name} moved to {value:.3} ({:.0}% of baseline, warn-only)",
-                    ratio * 100.0
-                );
-                if update {
-                    store.record(name, value);
-                }
-            }
-        }
-    }
-    store.save().expect("save baselines");
+    note_headlines(
+        &[
+            // Optimization throughput per system (queries / opt-second).
+            ("sec62_pg_opt_queries_per_sec", 1_000.0 / by(&mean_opts, "PostgreSQL")),
+            ("sec62_comsys_opt_queries_per_sec", 1_000.0 / by(&mean_opts, "ComSys")),
+            ("sec62_bao_opt_queries_per_sec", 1_000.0 / by(&mean_opts, "Bao")),
+            // Bao's end-to-end closeness to PostgreSQL on this worst-case
+            // workload (1.0 = no overhead; the paper's 4.2m / 4.5m ≈ 0.93).
+            (
+                "sec62_bao_vs_pg_workload_ratio",
+                by(&workload_secs, "PostgreSQL") / by(&workload_secs, "Bao"),
+            ),
+        ],
+        update,
+    );
 }

@@ -1,6 +1,7 @@
 //! Table 1: evaluation dataset sizes, query counts, and whether the
 //! workload (WL), data, and schema are static or dynamic.
 
+use bao_bench::timing::note_headlines;
 use bao_bench::{build_workload, print_header, Args, Table, WorkloadName};
 
 fn main() {
@@ -14,9 +15,13 @@ fn main() {
         &format!("(scale {scale}, {n} queries per workload, seed {seed})"),
     );
     let mut t = Table::new(&["Dataset", "Size", "Queries", "WL", "Data", "Schema"]);
+    let mut headlines: Vec<(String, f64)> = Vec::new();
     for name in WorkloadName::ALL {
         let (db, wl) = build_workload(name, scale, n, seed).expect("build workload");
         let mb = db.total_size_bytes() as f64 / (1024.0 * 1024.0);
+        // Drift tripwire on generated dataset sizes (warn-only; not a
+        // speedup, but a silent generator change should still be seen).
+        headlines.push((format!("table1_{}_mb", name.label().to_lowercase()), mb));
         let (wl_dyn, data_dyn, schema_dyn) = match name {
             WorkloadName::Imdb => ("Dynamic", "Static", "Static"),
             WorkloadName::Stack => ("Dynamic", "Dynamic", "Static"),
@@ -36,4 +41,5 @@ fn main() {
     println!("Paper reports IMDb 7.2 GB / Stack 100 GB / Corp 1 TB with 5000/5000/2000");
     println!("queries; this reproduction runs the same shapes at reduced scale");
     println!("(see DESIGN.md §1). Rerun with --scale/--queries to grow the datasets.");
+    note_headlines(&headlines, args.has("update-baseline"));
 }

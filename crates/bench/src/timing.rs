@@ -226,6 +226,62 @@ impl BaselineStore {
     }
 }
 
+/// Warn threshold for [`note_headlines`] comparisons.
+pub const HEADLINE_TOLERANCE: f64 = 0.20;
+
+/// Warn-only headline tracking for the figure/experiment binaries.
+///
+/// Loads the canonical store, compares each `(name, value)` against its
+/// recorded baseline (recording metrics seen for the first time), and
+/// saves. Regressions print a WARNING but never affect the exit code:
+/// figure numbers legitimately move when the planner, executor, or
+/// cloud model changes — the record exists so such moves are *seen*,
+/// not to fail CI. Only the `*_bench` binaries gate
+/// (`scripts/check.sh --bench-smoke`). Pass `update = true`
+/// (`--update-baseline`) to re-record after an intentional move.
+///
+/// Metric values follow the store's larger-is-better convention, so
+/// callers record speedups, ratios, and fractions — never raw times.
+pub fn note_headlines<S: AsRef<str>>(metrics: &[(S, f64)], update: bool) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results/bench_baselines.json");
+    let mut store = match BaselineStore::load(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            println!("WARNING: skipping headline baselines ({e})");
+            return;
+        }
+    };
+    println!();
+    for (name, value) in metrics {
+        let (name, value) = (name.as_ref(), *value);
+        match store.compare(name, value, HEADLINE_TOLERANCE) {
+            Comparison::New => {
+                println!("baseline {name}: recorded {value:.3} (new)");
+                store.record(name, value);
+            }
+            Comparison::Ok { ratio } => {
+                println!("baseline {name}: {value:.3} ({:.0}% of baseline) ok", ratio * 100.0);
+                if update {
+                    store.record(name, value);
+                }
+            }
+            Comparison::Regressed { ratio } => {
+                println!(
+                    "WARNING: {name} moved to {value:.3} ({:.0}% of baseline, warn-only)",
+                    ratio * 100.0
+                );
+                if update {
+                    store.record(name, value);
+                }
+            }
+        }
+    }
+    if let Err(e) = store.save() {
+        println!("WARNING: could not save baselines: {e}");
+    }
+}
+
 fn fmt_time(secs: f64) -> String {
     if secs >= 1.0 {
         format!("{secs:.3} s")

@@ -163,6 +163,14 @@ impl Bao {
         self.retrains
     }
 
+    /// The value model's version: bumped exactly once per retrain. Plan
+    /// caches key their entries on this — an arm chosen under version v
+    /// says nothing about the model at v+1, so a version mismatch is an
+    /// invalidation (DESIGN.md §11).
+    pub fn model_version(&self) -> usize {
+        self.retrains
+    }
+
     /// How many more observations [`Bao::observe`] will accept before one
     /// of them triggers a retrain (always ≥ 1: the boundary observation
     /// itself is scored against the *pre*-retrain model, so it may still
@@ -212,15 +220,38 @@ impl Bao {
         cat: &StatsCatalog,
         pool: Option<&BufferPool>,
     ) -> Result<Selection> {
-        let out = opt.plan(query, db, cat, self.cfg.arms[0])?;
+        self.plan_arm(0, opt, query, db, cat, pool)
+    }
+
+    /// Plan exactly one arm — no fan-out, no model scoring. The plan-
+    /// cache hit path lives here: a cached arm index replays through the
+    /// same annotate → verify → featurize pipeline as a scored arm, so
+    /// its observed reward feeds the experience buffer identically; only
+    /// the 49-way planning and the TCNN inference are skipped.
+    pub fn plan_arm(
+        &self,
+        arm: usize,
+        opt: &Optimizer,
+        query: &Query,
+        db: &Database,
+        cat: &StatsCatalog,
+        pool: Option<&BufferPool>,
+    ) -> Result<Selection> {
+        let hints = *self.cfg.arms.get(arm).ok_or_else(|| {
+            BaoError::Planning(format!(
+                "arm {arm} out of range ({} arms configured)",
+                self.cfg.arms.len()
+            ))
+        })?;
+        let out = opt.plan(query, db, cat, hints)?;
         let mut root = out.root;
         bao_opt::annotate_estimates(&mut root, query, db, cat, opt.estimator(), &opt.params)?;
         #[cfg(debug_assertions)]
         bao_plan::verify::verify(&root, query, db)?;
         let tree = self.featurizer.featurize(&root, query, db, pool);
         Ok(Selection {
-            arm: 0,
-            hints: self.cfg.arms[0],
+            arm,
+            hints,
             plan: root,
             tree,
             predictions: vec![None; self.cfg.arms.len()],

@@ -16,5 +16,5 @@ pub use runner::{
     run_once, BaoSettings, ModelKind, QueryRecord, RunConfig, RunResult, Runner, Strategy,
 };
 pub use serving::{
-    DispatchRecord, SchedServingReport, ServingConfig, ServingReport, ServingRunner,
+    DispatchRecord, ExecFault, SchedServingReport, ServingConfig, ServingReport, ServingRunner,
 };

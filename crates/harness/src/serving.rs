@@ -13,13 +13,27 @@
 //! [`ServingRunner::run`] and DESIGN.md §9–10.
 
 use crate::runner::{QueryRecord, RunConfig, RunResult, Runner, Strategy};
+use bao_cache::{CacheStats, CachedChoice, DriftOutcome, PlanCache, PlanCacheConfig};
 use bao_cloud::gpu_train_time;
 use bao_common::{BaoError, Result, SimDuration};
 use bao_core::Selection;
 use bao_exec::execute;
+use bao_plan::{fingerprint, QueryFingerprint};
 use bao_sched::{QueryArrival, SchedConfig, SchedReport, Scheduler};
 use bao_storage::Database;
 use bao_workloads::Workload;
+
+/// Deterministic latency perturbation for drift testing: every query at
+/// workload step `from_step` or later executes `factor`× slower. This is
+/// how the drift-invalidation tests simulate an environment change (data
+/// growth, noisy neighbor) without touching the executor.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecFault {
+    /// First workload step the fault applies to.
+    pub from_step: usize,
+    /// Multiplier on executed latency (and the perf the model observes).
+    pub factor: f64,
+}
 
 /// Knobs of the serving layer.
 #[derive(Debug, Clone, Copy)]
@@ -31,18 +45,36 @@ pub struct ServingConfig {
     /// Maximum number of in-flight queries whose arm families are
     /// coalesced into one cross-query `predict_batch` scoring pass.
     pub coalesce_window: usize,
+    /// Template plan cache (DESIGN.md §11). `None` — and `Some` with
+    /// capacity 0 — leave the serving path byte-identical to the
+    /// uncached one (pinned by `tests/serving_equivalence.rs`).
+    pub cache: Option<PlanCacheConfig>,
+    /// Optional latency fault injection (drift tests only).
+    pub fault: Option<ExecFault>,
 }
 
 impl ServingConfig {
     pub fn new(concurrency: usize, coalesce_window: usize) -> ServingConfig {
         assert!(concurrency >= 1 && coalesce_window >= 1);
-        ServingConfig { concurrency, coalesce_window }
+        ServingConfig { concurrency, coalesce_window, cache: None, fault: None }
+    }
+
+    /// Enable the template plan cache.
+    pub fn with_cache(mut self, cache: PlanCacheConfig) -> ServingConfig {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Inject a deterministic latency fault (drift tests).
+    pub fn with_fault(mut self, fault: ExecFault) -> ServingConfig {
+        self.fault = Some(fault);
+        self
     }
 }
 
 impl Default for ServingConfig {
     fn default() -> Self {
-        ServingConfig { concurrency: 4, coalesce_window: 4 }
+        ServingConfig::new(4, 4)
     }
 }
 
@@ -68,6 +100,8 @@ pub struct ServingReport {
     /// gaps where the scheduler sits idle count too. Machine-free, so
     /// benchmarks derived from it transfer across hosts.
     pub makespan: SimDuration,
+    /// Plan-cache counters (`None` when serving ran uncached).
+    pub cache: Option<CacheStats>,
 }
 
 impl ServingReport {
@@ -175,6 +209,7 @@ impl ServingRunner {
                 coalesced_trees: 0,
                 clamped_by_cache_features: false,
                 makespan,
+                cache: None,
             });
         }
         let arrivals: Vec<QueryArrival> = (0..workload.len()).map(QueryArrival::step).collect();
@@ -238,6 +273,11 @@ fn run_bao_serving(
     }
 
     let mut scheduler = Scheduler::new(sched_cfg)?;
+    // The template plan cache (DESIGN.md §11). With `None` every branch
+    // below short-circuits and the wave loop is byte-for-byte the
+    // uncached one; `Some` with capacity 0 behaves identically because
+    // lookups never hit and inserts never store.
+    let mut cache: Option<PlanCache> = serving.cache.map(PlanCache::new);
 
     let mut records = Vec::with_capacity(n);
     let mut dispatches: Vec<DispatchRecord> = Vec::with_capacity(n);
@@ -335,17 +375,37 @@ fn run_bao_serving(
                 ));
             }
 
+            // Cache consult: only dispatches that would otherwise pay the
+            // full scoring pass are eligible (scored mode, not shed). A
+            // hit pins the cached arm and drops out of the coalesced
+            // batch; everything else proceeds exactly as before. The
+            // model version is read once per wave — invariant 2 already
+            // guarantees it cannot change mid-wave.
+            let model_version = bao.model_version();
+            let mut fps: Vec<Option<QueryFingerprint>> = vec![None; wave.len()];
+            let mut cached: Vec<Option<CachedChoice>> = vec![None; wave.len()];
+            if let Some(cache) = cache.as_mut() {
+                for (k, d) in wave.iter().enumerate() {
+                    if scored_mode && !d.shed {
+                        let fp = fingerprint(&steps[d.idx].query);
+                        fps[k] = Some(fp);
+                        cached[k] = cache.lookup(fp, model_version);
+                    }
+                }
+            }
+
             // Coalesced selection: plan every scored (query, arm) job on
             // the worker pool and score all arm families in one packed
             // pass. Shed dispatches bypass scoring entirely — arm 0, one
             // planner invocation, no model involvement (the graceful-
-            // degradation contract, DESIGN.md §10).
+            // degradation contract, DESIGN.md §10) — and cache hits plan
+            // only their cached arm.
             let mut selections: Vec<Option<Selection>> = Vec::with_capacity(wave.len());
             selections.resize_with(wave.len(), || None);
             let scored_pos: Vec<usize> = wave
                 .iter()
                 .enumerate()
-                .filter(|(_, d)| scored_mode && !d.shed)
+                .filter(|(k, d)| scored_mode && !d.shed && cached[*k].is_none())
                 .map(|(k, _)| k)
                 .collect();
             if !scored_pos.is_empty() {
@@ -360,12 +420,27 @@ fn run_bao_serving(
                 )?;
                 coalesced_trees += scored_pos.len() * bao.cfg.arms.len();
                 for (&k, (sel, _)) in scored_pos.iter().zip(multi) {
+                    if let (Some(cache), Some(fp)) = (cache.as_mut(), fps[k]) {
+                        // Populate on miss: the drift window needs the
+                        // model's prediction for the chosen arm as its
+                        // reference point; without one (shouldn't happen
+                        // in scored mode) there is nothing to compare
+                        // against, so skip the insert.
+                        if let Some(p) = sel.predictions.get(sel.arm).copied().flatten() {
+                            cache.insert(fp, sel.arm, p, model_version);
+                        }
+                    }
                     selections[k] = Some(sel);
                 }
             }
             for (k, d) in wave.iter().enumerate() {
                 if selections[k].is_none() {
-                    selections[k] = Some(bao.plan_default_arm(
+                    // Shed or fallback dispatches plan arm 0; cache hits
+                    // plan their cached arm. One planner invocation, no
+                    // model involvement either way.
+                    let arm = cached[k].map_or(0, |c| c.arm);
+                    selections[k] = Some(bao.plan_arm(
+                        arm,
                         &inner.opt,
                         &steps[d.idx].query,
                         &inner.db,
@@ -402,7 +477,7 @@ fn run_bao_serving(
                 }
                 let opt_time =
                     inner.cfg.vm.optimization_time(&sel.per_arm_work, inner.cfg.sequential_arms);
-                let metrics = execute(
+                let mut metrics = execute(
                     &sel.plan,
                     &step.query,
                     &inner.db,
@@ -410,7 +485,25 @@ fn run_bao_serving(
                     &inner.opt.params,
                     &inner.cfg.vm.charge_rates(),
                 )?;
+                if let Some(f) = serving.fault {
+                    if d.idx >= f.from_step {
+                        metrics.latency = metrics.latency * f.factor;
+                    }
+                }
                 let perf = metrics.perf(inner.cfg.metric);
+
+                // Drift bookkeeping: every execution of a cached template
+                // feeds its rolling window (arm-mismatched observations —
+                // e.g. a shed dispatch of a template cached at another
+                // arm — are ignored by the cache). Under overload the
+                // drifted entry is re-pinned to arm 0 and the scheduler's
+                // per-tenant telemetry records the shed.
+                if let (Some(cache), Some(fp)) = (cache.as_mut(), fps[k]) {
+                    let backlog = scheduler.queued_len();
+                    if cache.observe(fp, sel.arm, perf, backlog) == DriftOutcome::Shed {
+                        scheduler.note_drift_shed(d.tenant);
+                    }
+                }
 
                 let mut gpu_time = SimDuration::ZERO;
                 if let Some(bao) = inner.bao.as_mut() {
@@ -468,6 +561,7 @@ fn run_bao_serving(
             coalesced_trees,
             clamped_by_cache_features: cache_clamp && serving.coalesce_window > 1,
             makespan: now,
+            cache: cache.as_ref().map(PlanCache::stats),
         },
         sched: sched_report,
         dispatches,

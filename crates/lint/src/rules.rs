@@ -30,6 +30,11 @@
 //!   epsilon, `total_cmp`, or `to_bits`. Intentional exact comparisons
 //!   (sparsity fast paths in the kernels) carry an annotation. Test code
 //!   is exempt — asserting exact reproducibility is the point there.
+//! * `no-println` — `println!` / `eprintln!` are confined to binaries
+//!   (`src/bin/`, `main.rs`) and the bench/report crate; library crates
+//!   must surface information through return values, reports, or errors
+//!   — a stray print in the query path garbles experiment output and is
+//!   invisible to callers.
 //! * `hermetic-manifest` — every manifest dependency must be a local
 //!   `path` crate (see [`crate::manifest`]).
 //!
@@ -50,11 +55,12 @@ pub enum RuleId {
     NoPerNodeAlloc,
     NoUnseededRng,
     NoFloatEq,
+    NoPrintln,
     HermeticManifest,
 }
 
 impl RuleId {
-    pub const ALL: [RuleId; 8] = [
+    pub const ALL: [RuleId; 9] = [
         RuleId::NoWallClock,
         RuleId::NoHashIterOrder,
         RuleId::NoUnsafe,
@@ -62,6 +68,7 @@ impl RuleId {
         RuleId::NoPerNodeAlloc,
         RuleId::NoUnseededRng,
         RuleId::NoFloatEq,
+        RuleId::NoPrintln,
         RuleId::HermeticManifest,
     ];
 
@@ -74,6 +81,7 @@ impl RuleId {
             RuleId::NoPerNodeAlloc => "no-per-node-alloc",
             RuleId::NoUnseededRng => "no-unseeded-rng",
             RuleId::NoFloatEq => "no-float-eq",
+            RuleId::NoPrintln => "no-println",
             RuleId::HermeticManifest => "hermetic-manifest",
         }
     }
@@ -103,6 +111,9 @@ impl RuleId {
             }
             RuleId::NoFloatEq => {
                 "==/!= on a float expression outside tests (epsilon/total_cmp)"
+            }
+            RuleId::NoPrintln => {
+                "println!/eprintln! outside binaries and the bench crate"
             }
             RuleId::HermeticManifest => "non-path dependency in a Cargo.toml",
         }
@@ -147,6 +158,13 @@ pub fn applies_to(rule: RuleId, path: &str) -> bool {
         // Float comparisons are a workspace-wide hazard; test regions are
         // carved out by `skips_test_code` instead of a path scope.
         RuleId::NoFloatEq => true,
+        // Printing belongs to binaries (`src/bin/`, `main.rs`) and the
+        // bench/report crate; library code must stay silent.
+        RuleId::NoPrintln => {
+            !(path.starts_with("crates/bench/")
+                || path.contains("/bin/")
+                || path.ends_with("/main.rs"))
+        }
         RuleId::HermeticManifest => false, // manifest rule, not a source rule
     }
 }
@@ -159,6 +177,7 @@ fn skips_test_code(rule: RuleId) -> bool {
             | RuleId::NoHashIterOrder
             | RuleId::NoPerNodeAlloc
             | RuleId::NoFloatEq
+            | RuleId::NoPrintln
     )
 }
 
@@ -203,6 +222,10 @@ fn patterns(rule: RuleId) -> &'static [Pattern] {
         // no-float-eq needs operand analysis, not a literal needle; see
         // `has_float_eq`.
         RuleId::NoFloatEq => &[],
+        RuleId::NoPrintln => &[
+            Pattern { needle: "println!", word: true },
+            Pattern { needle: "eprintln!", word: true },
+        ],
         RuleId::HermeticManifest => &[],
     }
 }

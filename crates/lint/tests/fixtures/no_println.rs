@@ -1,0 +1,24 @@
+//! Fixture for `no-println`: printing is confined to binaries and the
+//! bench crate; library code surfaces information through return values.
+
+fn bad(x: u64) {
+    println!("planned {x} arms");
+    eprintln!("warning: arm {x} fell back");
+}
+
+fn good(x: u64) -> String {
+    // println! in a comment is not a finding
+    let s = "eprintln! inside a string literal";
+    let similar = my_println_macro!(x);
+    // bao-lint: allow(no-println)
+    println!("audited progress line {x}");
+    format!("{s}{x}")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_print_debug_output() {
+        println!("debugging a failing case");
+    }
+}

@@ -138,6 +138,22 @@ fn no_float_eq_fires_at_exact_lines() {
 }
 
 #[test]
+fn no_println_fires_at_exact_lines() {
+    let src = include_str!("fixtures/no_println.rs");
+    // Lines 5-6: println!/eprintln! in library code. Comment/string
+    // decoys (10-11), the lookalike macro (12), the pragma'd progress
+    // line (14), and the #[cfg(test)] module (22) stay silent.
+    assert_eq!(
+        lines_for(RuleId::NoPrintln, "crates/core/src/fixture.rs", src),
+        vec![5, 6]
+    );
+    // Binaries, `main.rs`, and the bench crate are exempt wholesale.
+    assert_eq!(lines_for(RuleId::NoPrintln, "crates/bench/src/bin/fixture.rs", src), vec![]);
+    assert_eq!(lines_for(RuleId::NoPrintln, "crates/lint/src/main.rs", src), vec![]);
+    assert_eq!(lines_for(RuleId::NoPrintln, "crates/bench/src/report.rs", src), vec![]);
+}
+
+#[test]
 fn allow_file_pragma_waives_whole_file() {
     let src = format!(
         "// bao-lint: allow-file(no-panic-path)\n{}",

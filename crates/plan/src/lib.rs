@@ -3,11 +3,13 @@
 //! optimizer enumerates over, and the physical plan trees Bao featurizes,
 //! predicts over, and executes.
 
+pub mod fingerprint;
 pub mod joingraph;
 pub mod logical;
 pub mod physical;
 pub mod verify;
 
+pub use fingerprint::{fingerprint, QueryFingerprint};
 pub use joingraph::JoinGraph;
 pub use logical::{
     AggFunc, CmpOp, ColRef, JoinPred, Predicate, Query, SelectItem, TableRef,

@@ -19,12 +19,15 @@
 //!   nested-loop join and agree with its predicate;
 //! * join keys are bound to the children's outputs, type-consistent,
 //!   and not floats (the executor refuses float join keys);
+//! * merge-join inputs deliver rows ordered on the join key (an explicit
+//!   `Sort` whose primary key is the side's join column, or an
+//!   unparameterized index scan of that column);
 //! * aggregates never sit below a join;
 //! * every estimate annotation is finite and non-negative;
+//! * cardinality estimates are monotone along unary paths — a `Filter`,
+//!   `Sort`, or `Aggregate` never claims more output rows than its input
+//!   (joins may legitimately grow cardinality and are exempt);
 //! * optionally, hint-set consistency (see [`HintCheck`]).
-//!
-//! Merge-join input ordering is a runtime property the executor
-//! establishes itself and is not checked here.
 
 use crate::logical::{ColRef, JoinPred, Query};
 use crate::physical::{JoinAlgo, OpKind, Operator, PlanNode, ScanKind};
@@ -102,8 +105,15 @@ pub enum VerifyError {
     UnboundKey { col: ColRef },
     /// An aggregate below a join (the executor rejects this shape).
     AggregateBelowJoin,
+    /// A merge-join input that does not deliver rows ordered on its join
+    /// key (no `Sort` on the key, no ordered index scan of the key).
+    MergeInputNotOrdered { side: &'static str, col: ColRef },
     /// An estimate annotation that is NaN, infinite, or negative.
     BadEstimate { kind: OpKind, what: &'static str, value: f64 },
+    /// A unary operator claiming more output rows than its input — the
+    /// planner and re-annotation both guarantee non-increase through
+    /// `Filter`/`Sort`/`Aggregate`, so a violation is an estimator bug.
+    NonMonotoneEstimate { kind: OpKind, rows: f64, child_rows: f64 },
     /// A penalty-free plan using an operator its hint set disables.
     HintViolation { what: String },
 }
@@ -173,8 +183,22 @@ impl fmt::Display for VerifyError {
                 write!(f, "key {}.{} not covered by the child's output", col.table, col.column)
             }
             VerifyError::AggregateBelowJoin => write!(f, "aggregate below a join"),
+            VerifyError::MergeInputNotOrdered { side, col } => {
+                write!(
+                    f,
+                    "merge join's {side} input is not ordered on its join key {}.{}",
+                    col.table, col.column
+                )
+            }
             VerifyError::BadEstimate { kind, what, value } => {
                 write!(f, "{} has non-finite or negative {what}: {value}", kind.name())
+            }
+            VerifyError::NonMonotoneEstimate { kind, rows, child_rows } => {
+                write!(
+                    f,
+                    "{} claims {rows} output rows from only {child_rows} input rows",
+                    kind.name()
+                )
             }
             VerifyError::HintViolation { what } => {
                 write!(f, "penalty-free plan uses hint-disabled {what}")
@@ -222,6 +246,22 @@ pub fn verify_with_hints(
         }
     }
     Ok(())
+}
+
+/// Does `node` deliver rows ordered on `key`? True for a `Sort` whose
+/// primary key is `key`, and for an unparameterized index (or index-only)
+/// range scan of exactly that column — a B-tree range scan emits key
+/// order. Everything else (heap scans, joins, filters) makes no ordering
+/// promise.
+fn provides_order(node: &PlanNode, key: &ColRef) -> bool {
+    match &node.op {
+        Operator::Sort { keys } => keys.first() == Some(key),
+        Operator::IndexScan { table, column, param: None, .. }
+        | Operator::IndexOnlyScan { table, column, param: None, .. } => {
+            *table == key.table && *column == key.column
+        }
+        _ => false,
+    }
 }
 
 struct Verifier<'a> {
@@ -404,6 +444,28 @@ impl Verifier<'_> {
                 if lt != rt {
                     return Err(VerifyError::JoinKeyTypeMismatch { left: lt, right: rt });
                 }
+                if matches!(node.op, Operator::MergeJoin { .. }) {
+                    // Merge joins consume both inputs in key order; the
+                    // optimizer establishes it with explicit Sort nodes
+                    // (or an ordered index scan of the key), so an input
+                    // without one is a planner bug, not a runtime detail.
+                    let (left_key, right_key) = if outer.contains(&pred.left.table) {
+                        (&pred.left, &pred.right)
+                    } else {
+                        (&pred.right, &pred.left)
+                    };
+                    for (side, key, child) in [
+                        ("left", left_key, &node.children[0]),
+                        ("right", right_key, &node.children[1]),
+                    ] {
+                        if !provides_order(child, key) {
+                            return Err(VerifyError::MergeInputNotOrdered {
+                                side,
+                                col: key.clone(),
+                            });
+                        }
+                    }
+                }
                 let inner_param =
                     matches!(node.op, Operator::NestedLoopJoin { .. }).then_some(pred);
                 self.node(&node.children[0], true, None)?;
@@ -412,6 +474,7 @@ impl Verifier<'_> {
             }
             Operator::Filter { preds } => {
                 self.arity(node, 1)?;
+                self.monotone(node)?;
                 let covered = node.children[0].tables_covered();
                 for p in preds {
                     if !covered.contains(&p.left.table) || !covered.contains(&p.right.table) {
@@ -423,6 +486,7 @@ impl Verifier<'_> {
             }
             Operator::Sort { keys } => {
                 self.arity(node, 1)?;
+                self.monotone(node)?;
                 let covered = node.children[0].tables_covered();
                 for k in keys {
                     if !covered.contains(&k.table) {
@@ -433,6 +497,7 @@ impl Verifier<'_> {
             }
             Operator::Aggregate { group_by, aggs } => {
                 self.arity(node, 1)?;
+                self.monotone(node)?;
                 if under_join {
                     return Err(VerifyError::AggregateBelowJoin);
                 }
@@ -447,6 +512,22 @@ impl Verifier<'_> {
         }
         for child in &node.children {
             self.node(child, under_join, None)?;
+        }
+        Ok(())
+    }
+
+    /// Unary operators never produce more rows than they consume: filters
+    /// and aggregates reduce, sorts pass through. The tiny relative slack
+    /// absorbs benign rounding in re-annotation without admitting a real
+    /// cardinality inversion.
+    fn monotone(&self, node: &PlanNode) -> Result<(), VerifyError> {
+        let child = &node.children[0];
+        if node.est_rows > child.est_rows * (1.0 + 1e-9) {
+            return Err(VerifyError::NonMonotoneEstimate {
+                kind: node.op.kind(),
+                rows: node.est_rows,
+                child_rows: child.est_rows,
+            });
         }
         Ok(())
     }
@@ -793,6 +874,115 @@ mod tests {
         )
         .with_estimates(1.0, 5.0);
         assert!(matches!(verify(&hj, &q, &db), Err(VerifyError::AggregateBelowJoin)));
+    }
+
+    #[test]
+    fn rejects_merge_join_with_unsorted_left_input() {
+        let (q, db) = setup();
+        let sort_r = PlanNode::new(
+            Operator::Sort { keys: vec![ColRef::new(1, "movie_id")] },
+            vec![scan(1)],
+        )
+        .with_estimates(1.0, 2.0);
+        // Left input feeds the merge join straight from a heap scan.
+        let mj = PlanNode::new(Operator::MergeJoin { pred: join_pred() }, vec![scan(0), sort_r])
+            .with_estimates(1.0, 5.0);
+        assert!(matches!(
+            verify(&agg(mj), &q, &db),
+            Err(VerifyError::MergeInputNotOrdered { side: "left", .. })
+        ));
+        // A sort on the wrong key is just as unordered for the merge.
+        let wrong_key = PlanNode::new(
+            Operator::Sort { keys: vec![ColRef::new(0, "year")] },
+            vec![scan(0)],
+        )
+        .with_estimates(1.0, 2.0);
+        let sort_r = PlanNode::new(
+            Operator::Sort { keys: vec![ColRef::new(1, "movie_id")] },
+            vec![scan(1)],
+        )
+        .with_estimates(1.0, 2.0);
+        let mj = PlanNode::new(Operator::MergeJoin { pred: join_pred() }, vec![wrong_key, sort_r])
+            .with_estimates(1.0, 5.0);
+        assert!(matches!(
+            verify(&agg(mj), &q, &db),
+            Err(VerifyError::MergeInputNotOrdered { side: "left", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_merge_join_with_unsorted_right_input() {
+        let (q, db) = setup();
+        let sort_l = PlanNode::new(
+            Operator::Sort { keys: vec![ColRef::new(0, "id")] },
+            vec![scan(0)],
+        )
+        .with_estimates(1.0, 2.0);
+        let mj = PlanNode::new(Operator::MergeJoin { pred: join_pred() }, vec![sort_l, scan(1)])
+            .with_estimates(1.0, 5.0);
+        assert!(matches!(
+            verify(&agg(mj), &q, &db),
+            Err(VerifyError::MergeInputNotOrdered { side: "right", .. })
+        ));
+    }
+
+    #[test]
+    fn accepts_merge_join_over_ordered_index_scan() {
+        let (q, db) = setup();
+        // An unparameterized B-tree range scan of the join key delivers
+        // key order without an explicit Sort.
+        let left = PlanNode::new(
+            Operator::IndexScan {
+                table: 0,
+                column: "id".into(),
+                lo: None,
+                hi: None,
+                residual: vec![],
+                param: None,
+            },
+            vec![],
+        )
+        .with_estimates(1.0, 1.0);
+        let right = PlanNode::new(
+            Operator::IndexOnlyScan {
+                table: 1,
+                column: "movie_id".into(),
+                lo: None,
+                hi: None,
+                param: None,
+            },
+            vec![],
+        )
+        .with_estimates(1.0, 1.0);
+        let mj = PlanNode::new(Operator::MergeJoin { pred: join_pred() }, vec![left, right])
+            .with_estimates(1.0, 5.0);
+        assert_eq!(verify(&agg(mj), &q, &db), Ok(()));
+    }
+
+    #[test]
+    fn rejects_non_monotone_unary_estimates() {
+        let (mut q, db) = setup();
+        q.order_by = vec![ColRef::new(0, "year")];
+        // A sort claiming to emit more rows than its input produces.
+        let hj = hash_join(scan(0), scan(1)).with_estimates(4.0, 3.0);
+        let sort = PlanNode::new(Operator::Sort { keys: q.order_by.clone() }, vec![agg(hj)])
+            .with_estimates(25.0, 6.0);
+        assert!(matches!(
+            verify(&sort, &q, &db),
+            Err(VerifyError::NonMonotoneEstimate { rows, child_rows, .. })
+                if rows > child_rows
+        ));
+        // An aggregate inventing groups out of thin air.
+        let bloated = agg(hash_join(scan(0), scan(1)).with_estimates(2.0, 3.0))
+            .with_estimates(50.0, 4.0);
+        assert!(matches!(
+            verify(&bloated, &q, &db),
+            Err(VerifyError::NonMonotoneEstimate { .. })
+        ));
+        // Joins are exempt: growth across a join is legitimate.
+        let growing = agg(hash_join(scan(0), scan(1)).with_estimates(500.0, 3.0))
+            .with_estimates(1.0, 4.0);
+        assert_eq!(verify(&growing, &q, &db), Ok(()));
     }
 
     #[test]

@@ -59,6 +59,9 @@ pub struct TenantReport {
     pub served: usize,
     /// Dispatches degraded to arm 0 (depth overflow or deadline).
     pub shed: usize,
+    /// Plan-cache templates re-pinned to arm 0 after latency drift under
+    /// overload (reported by the serving layer).
+    pub drift_shed: usize,
     pub peak_queue_depth: usize,
     /// Queue-wait distribution, simulated milliseconds.
     pub wait_ms: DistSummary,
@@ -75,6 +78,7 @@ impl ToJson for TenantReport {
             ("admitted", self.admitted.to_json()),
             ("served", self.served.to_json()),
             ("shed", self.shed.to_json()),
+            ("drift_shed", self.drift_shed.to_json()),
             ("peak_queue_depth", self.peak_queue_depth.to_json()),
             ("wait_ms", self.wait_ms.to_json()),
             ("served_work_ms", self.served_work_ms.to_json()),
@@ -107,6 +111,10 @@ impl SchedReport {
         self.tenants.iter().map(|t| t.shed).sum()
     }
 
+    pub fn total_drift_shed(&self) -> usize {
+        self.tenants.iter().map(|t| t.drift_shed).sum()
+    }
+
     /// Fraction of served queries that were degraded to arm 0.
     pub fn shed_rate(&self) -> f64 {
         let served = self.total_served();
@@ -131,6 +139,7 @@ impl ToJson for SchedReport {
             ("total_admitted", self.total_admitted().to_json()),
             ("total_served", self.total_served().to_json()),
             ("total_shed", self.total_shed().to_json()),
+            ("total_drift_shed", self.total_drift_shed().to_json()),
             ("shed_rate", self.shed_rate().to_json()),
             ("jain_fairness", self.jain_fairness.to_json()),
         ])
@@ -159,6 +168,7 @@ pub(crate) fn build_report(
     admitted: &[usize],
     served: &[usize],
     shed: &[usize],
+    drift_shed: &[usize],
     peak_depth: &[usize],
     waits_ms: &[Vec<f64>],
     served_work_ms: &[f64],
@@ -174,6 +184,7 @@ pub(crate) fn build_report(
             admitted: admitted[t],
             served: served[t],
             shed: shed[t],
+            drift_shed: drift_shed[t],
             peak_queue_depth: peak_depth[t],
             wait_ms: DistSummary::from_samples(&waits_ms[t]),
             served_work_ms: served_work_ms[t],
@@ -218,10 +229,11 @@ mod tests {
     #[test]
     fn sched_report_serializes_with_totals() {
         let cfg = SchedConfig::single_tenant();
-        let r = build_report(&cfg, 3, &[5], &[5], &[1], &[2], &[vec![1.0, 2.0]], &[10.0]);
+        let r = build_report(&cfg, 3, &[5], &[5], &[1], &[2], &[2], &[vec![1.0, 2.0]], &[10.0]);
         let j = r.to_json().to_string();
         assert!(j.contains("\"policy\":\"drr\""), "{j}");
         assert!(j.contains("\"total_shed\":1"), "{j}");
+        assert!(j.contains("\"total_drift_shed\":2"), "{j}");
         assert!(j.contains("\"jain_fairness\":"), "{j}");
     }
 }

@@ -136,6 +136,9 @@ pub struct Scheduler {
     admitted: Vec<usize>,
     served: Vec<usize>,
     shed: Vec<usize>,
+    /// Plan-cache drift sheds: cached entries re-pinned to arm 0 under
+    /// overload (reported by the serving layer via `note_drift_shed`).
+    drift_shed: Vec<usize>,
     peak_depth: Vec<usize>,
     waits_ms: Vec<Vec<f64>>,
     served_work_ms: Vec<f64>,
@@ -187,6 +190,7 @@ impl Scheduler {
             admitted: vec![0; n],
             served: vec![0; n],
             shed: vec![0; n],
+            drift_shed: vec![0; n],
             peak_depth: vec![0; n],
             waits_ms: vec![Vec::new(); n],
             served_work_ms: vec![0.0; n],
@@ -452,6 +456,15 @@ impl Scheduler {
         self.served_work_ms[d.tenant] += work.max(SimDuration::ZERO).as_ms();
     }
 
+    /// Record that the serving layer's plan cache drift-shed one of this
+    /// tenant's templates to arm 0 under overload (the cache-side twin of
+    /// the admission-side shed counter; DESIGN.md §11).
+    pub fn note_drift_shed(&mut self, tenant: TenantId) {
+        if let Some(c) = self.drift_shed.get_mut(tenant) {
+            *c += 1;
+        }
+    }
+
     /// Fold the run's telemetry into a [`crate::SchedReport`].
     pub fn report(&self, waves: usize) -> crate::SchedReport {
         crate::report::build_report(
@@ -460,6 +473,7 @@ impl Scheduler {
             &self.admitted,
             &self.served,
             &self.shed,
+            &self.drift_shed,
             &self.peak_depth,
             &self.waits_ms,
             &self.served_work_ms,

@@ -5,10 +5,10 @@
 #   2. check_hermetic  — static manifest scan (via bao-lint)
 #   3. build + test    — tier-1: cargo build --release && cargo test -q
 #   4. bench smoke     — opt-in via --bench-smoke: inference_bench,
-#                        serving_bench, and sched_bench, each
-#                        --quick --gate, failing on a gated regression
-#                        against results/bench_baselines.json
-#                        (DESIGN.md §8, §9, §10)
+#                        serving_bench, sched_bench, and cache_bench,
+#                        each --quick --gate, failing on a gated
+#                        regression against results/bench_baselines.json
+#                        (DESIGN.md §8, §9, §10, §11)
 #
 # Run from anywhere; operates on the repo containing this script.
 set -euo pipefail
@@ -49,6 +49,9 @@ if [ "$bench_smoke" = 1 ]; then
     echo
     echo "== bench smoke (sched_bench --quick --gate) =="
     cargo run -q --release -p bao-bench --bin sched_bench -- --quick --gate
+    echo
+    echo "== bench smoke (cache_bench --quick --gate) =="
+    cargo run -q --release -p bao-bench --bin cache_bench -- --quick --gate
 fi
 
 echo

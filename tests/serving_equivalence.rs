@@ -108,6 +108,43 @@ fn cache_feature_mode_clamps_waves_and_stays_identical() {
 }
 
 #[test]
+fn inert_plan_cache_is_byte_identical_to_uncached_serving() {
+    // The plan cache's no-op contract (DESIGN.md §11): serving with the
+    // cache disabled (`None`) and with a size-0 cache must produce
+    // byte-identical results to each other and to the serial path — a
+    // size-0 cache never hits and never stores, so the wave loop must
+    // be indistinguishable from the uncached one.
+    let seed = 11;
+    let (db, wl) = workload_for(seed);
+    let serial = canonical(Runner::new(config(seed, false), db.clone()).run(&wl).unwrap());
+    for concurrency in [1usize, 4, 8] {
+        let uncached = ServingRunner::new(
+            config(seed, false),
+            db.clone(),
+            ServingConfig::new(concurrency, concurrency),
+        )
+        .run(&wl)
+        .unwrap();
+        let zero_cap = bao_cache::PlanCacheConfig { capacity: 0, ..Default::default() };
+        let inert = ServingRunner::new(
+            config(seed, false),
+            db.clone(),
+            ServingConfig::new(concurrency, concurrency).with_cache(zero_cap),
+        )
+        .run(&wl)
+        .unwrap();
+        assert!(uncached.cache.is_none());
+        let stats = inert.cache.expect("size-0 cache still reports stats");
+        assert_eq!(stats.hits, 0, "a size-0 cache can never hit");
+        assert_eq!(stats.inserts, 0, "a size-0 cache can never store");
+        let a = canonical(uncached.result);
+        let b = canonical(inert.result);
+        assert_eq!(serial, a, "c={concurrency}: uncached serving diverged from serial");
+        assert_eq!(a, b, "c={concurrency}: size-0 cache changed the serving path");
+    }
+}
+
+#[test]
 fn non_bao_strategies_pass_through_serving_unchanged() {
     let seed = 5;
     let (db, wl) = workload_for(seed);
