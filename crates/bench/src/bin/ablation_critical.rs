@@ -52,6 +52,7 @@ fn main() {
                 enabled: true,
                 bootstrap: true,
                 parallel_planning: true,
+                planning_threads: 0,
                 seed,
             },
             settings.model.build(bao_core::Featurizer::new(false).input_dim()),

@@ -45,6 +45,7 @@ fn main() {
         enabled: false, // like the paper: off until SET enable_bao TO on
         bootstrap: true,
         parallel_planning: true,
+        planning_threads: 0,
         seed,
     });
     let mut timing = true;

@@ -73,6 +73,7 @@ pub fn bao_settings(n_arms: usize, n_queries: usize) -> BaoSettings {
         retrain: (n_queries / 10).clamp(25, 100),
         cache_features: true,
         bootstrap: true,
+        planning_threads: 0,
     }
 }
 

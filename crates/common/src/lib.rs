@@ -6,6 +6,7 @@ pub mod error;
 pub mod json;
 pub mod rng;
 pub mod stats;
+pub mod sync;
 pub mod time;
 
 pub use error::{BaoError, Result};

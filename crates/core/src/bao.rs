@@ -10,8 +10,7 @@ use bao_opt::{HintSet, Optimizer, PlanOutput};
 use bao_plan::{PlanNode, Query};
 use bao_stats::StatsCatalog;
 use bao_storage::{BufferPool, Database};
-use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use bao_common::sync::{mpsc, scope, Arc, Mutex};
 use std::time::Duration;
 
 /// Bao configuration (paper §6.1 defaults: 48/49 arms, window k = 2000,
@@ -36,6 +35,11 @@ pub struct BaoConfig {
     /// makes heavy use of parallelism, concurrently planning each arm").
     /// Results are identical either way; only wall-clock changes.
     pub parallel_planning: bool,
+    /// Worker threads for parallel planning; `0` sizes the pool to the
+    /// host (`available_parallelism`). Explicit counts exist for the
+    /// bao-race suites, which need a fixed multi-worker pool regardless
+    /// of the machine they run on.
+    pub planning_threads: usize,
     pub seed: u64,
 }
 
@@ -49,6 +53,7 @@ impl Default for BaoConfig {
             enabled: true,
             bootstrap: true,
             parallel_planning: true,
+            planning_threads: 0,
             seed: 0,
         }
     }
@@ -424,10 +429,11 @@ impl Bao {
             }
             return Ok(outputs);
         }
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(n_jobs);
+        let workers = match self.cfg.planning_threads {
+            0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            n => n,
+        }
+        .min(n_jobs);
         let mut slots: Vec<Option<Result<PlanOutput>>> = Vec::with_capacity(n_jobs);
         slots.resize_with(n_jobs, || None);
         let (job_tx, job_rx) = mpsc::channel::<usize>();
@@ -438,7 +444,7 @@ impl Bao {
             let _ = job_tx.send(slot);
         }
         drop(job_tx);
-        std::thread::scope(|scope| {
+        scope(|scope| {
             for _ in 0..workers {
                 let job_rx = Arc::clone(&job_rx);
                 let res_tx = res_tx.clone();

@@ -58,6 +58,7 @@ fn small_bao(arms: Vec<HintSet>, n: usize, k: usize) -> Bao {
         enabled: true,
         bootstrap: true,
         parallel_planning: true,
+        planning_threads: 0,
         seed: 7,
     };
     let featurizer_dim = bao_core::Featurizer::new(true).input_dim();

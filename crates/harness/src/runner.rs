@@ -73,6 +73,9 @@ pub struct BaoSettings {
     pub retrain: usize,
     pub cache_features: bool,
     pub bootstrap: bool,
+    /// Planner pool size (`0` = size to the host). The bao-race suites
+    /// pin this so the fan-out pool is multi-worker on any machine.
+    pub planning_threads: usize,
 }
 
 impl Default for BaoSettings {
@@ -84,6 +87,7 @@ impl Default for BaoSettings {
             retrain: 100,
             cache_features: true,
             bootstrap: true,
+            planning_threads: 0,
         }
     }
 }
@@ -305,6 +309,7 @@ impl Runner {
                     enabled: true,
                     bootstrap: settings.bootstrap,
                     parallel_planning: true,
+                    planning_threads: settings.planning_threads,
                     seed: split_seed(cfg.seed, 2),
                 };
                 let dim = bao_core::Featurizer::new(settings.cache_features).input_dim();

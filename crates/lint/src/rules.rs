@@ -35,6 +35,12 @@
 //!   must surface information through return values, reports, or errors
 //!   — a stray print in the query path garbles experiment output and is
 //!   invisible to callers.
+//! * `no-raw-sync` — direct `std::sync::{Mutex, mpsc, Condvar, RwLock}`
+//!   is denied outside `bao_common::sync` and the `bao-race` checker
+//!   itself: every lock, channel, and scoped spawn must go through the
+//!   shim so the deterministic interleaving explorer (DESIGN.md §12) can
+//!   see it. A raw primitive is invisible to the race checker — exactly
+//!   the kind of hole that lets an unexplored interleaving ship.
 //! * `hermetic-manifest` — every manifest dependency must be a local
 //!   `path` crate (see [`crate::manifest`]).
 //!
@@ -56,11 +62,12 @@ pub enum RuleId {
     NoUnseededRng,
     NoFloatEq,
     NoPrintln,
+    NoRawSync,
     HermeticManifest,
 }
 
 impl RuleId {
-    pub const ALL: [RuleId; 9] = [
+    pub const ALL: [RuleId; 10] = [
         RuleId::NoWallClock,
         RuleId::NoHashIterOrder,
         RuleId::NoUnsafe,
@@ -69,6 +76,7 @@ impl RuleId {
         RuleId::NoUnseededRng,
         RuleId::NoFloatEq,
         RuleId::NoPrintln,
+        RuleId::NoRawSync,
         RuleId::HermeticManifest,
     ];
 
@@ -82,6 +90,7 @@ impl RuleId {
             RuleId::NoUnseededRng => "no-unseeded-rng",
             RuleId::NoFloatEq => "no-float-eq",
             RuleId::NoPrintln => "no-println",
+            RuleId::NoRawSync => "no-raw-sync",
             RuleId::HermeticManifest => "hermetic-manifest",
         }
     }
@@ -115,6 +124,9 @@ impl RuleId {
             RuleId::NoPrintln => {
                 "println!/eprintln! outside binaries and the bench crate"
             }
+            RuleId::NoRawSync => {
+                "std::sync Mutex/mpsc/Condvar/RwLock outside bao_common::sync"
+            }
             RuleId::HermeticManifest => "non-path dependency in a Cargo.toml",
         }
     }
@@ -138,6 +150,11 @@ const WALL_CLOCK_ALLOWED: &str = "crates/bench/src/timing.rs";
 
 /// The one audited `unsafe` site.
 const UNSAFE_ALLOWED: &str = "crates/common/src/json.rs";
+
+/// The shim itself wraps the raw primitives; the race checker serializes
+/// real threads with an (uninstrumented, by necessity) mutex + condvar.
+const RAW_SYNC_ALLOWED_FILE: &str = "crates/common/src/sync.rs";
+const RAW_SYNC_ALLOWED_CRATE: &str = "crates/race/";
 
 fn in_any(path: &str, prefixes: &[&str]) -> bool {
     prefixes.iter().any(|p| path.starts_with(p))
@@ -164,6 +181,12 @@ pub fn applies_to(rule: RuleId, path: &str) -> bool {
             !(path.starts_with("crates/bench/")
                 || path.contains("/bin/")
                 || path.ends_with("/main.rs"))
+        }
+        // Raw sync primitives are invisible to the race checker; only
+        // the shim and the checker itself may touch them. Applies to
+        // tests too — race suites must drive the instrumented types.
+        RuleId::NoRawSync => {
+            path != RAW_SYNC_ALLOWED_FILE && !path.starts_with(RAW_SYNC_ALLOWED_CRATE)
         }
         RuleId::HermeticManifest => false, // manifest rule, not a source rule
     }
@@ -222,6 +245,9 @@ fn patterns(rule: RuleId) -> &'static [Pattern] {
         // no-float-eq needs operand analysis, not a literal needle; see
         // `has_float_eq`.
         RuleId::NoFloatEq => &[],
+        // no-raw-sync inspects the path segment after `std::sync::`; see
+        // `has_raw_sync`.
+        RuleId::NoRawSync => &[],
         RuleId::NoPrintln => &[
             Pattern { needle: "println!", word: true },
             Pattern { needle: "eprintln!", word: true },
@@ -344,6 +370,40 @@ fn has_float_eq(line: &str) -> bool {
     false
 }
 
+/// The `std::sync` items the shim wraps; everything else there (`Arc`,
+/// `atomic`, `Once`, `LockResult`, …) is either stateless or carries no
+/// schedule point, so raw use cannot hide an interleaving.
+const RAW_SYNC_FORBIDDEN: [&str; 4] = ["Mutex", "mpsc", "Condvar", "RwLock"];
+
+/// Does this (masked) line name a forbidden `std::sync` primitive? Both
+/// direct paths (`std::sync::Mutex::new`, `use std::sync::mpsc`) and
+/// brace imports (`use std::sync::{Arc, Mutex}`) are recognized.
+fn has_raw_sync(line: &str) -> bool {
+    const NEEDLE: &str = "std::sync::";
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(NEEDLE) {
+        let at = from + pos;
+        from = at + NEEDLE.len();
+        // `bao_std::sync::` and friends are not the std module.
+        if line[..at].chars().next_back().is_some_and(is_ident) {
+            continue;
+        }
+        let rest = &line[from..];
+        let hit = if let Some(group) = rest.strip_prefix('{') {
+            let body = group.split('}').next().unwrap_or(group);
+            body.split(|c: char| !is_ident(c))
+                .any(|w| RAW_SYNC_FORBIDDEN.contains(&w))
+        } else {
+            let first = leading_token(rest).split("::").next().unwrap_or("").to_string();
+            RAW_SYNC_FORBIDDEN.contains(&first.as_str())
+        };
+        if hit {
+            return true;
+        }
+    }
+    false
+}
+
 /// A literal token to search for in masked code.
 struct Pattern {
     needle: &'static str,
@@ -415,6 +475,19 @@ pub fn check_masked(
                         line: line_no,
                         message: "float `==`/`!=` comparison (use an epsilon, \
                                   total_cmp, or to_bits)"
+                            .to_string(),
+                    });
+                }
+                continue;
+            }
+            if rule == RuleId::NoRawSync {
+                if has_raw_sync(line) && !masked.is_allowed(rule.name(), line_no) {
+                    out.push(Diagnostic {
+                        rule,
+                        path: path.to_string(),
+                        line: line_no,
+                        message: "raw `std::sync` primitive (use `bao_common::sync` so \
+                                  bao-race can instrument it)"
                             .to_string(),
                     });
                 }

@@ -1,0 +1,30 @@
+//! Fixture for `no-raw-sync`: raw `std::sync` primitives are invisible
+//! to the bao-race explorer, so locking and channels must go through
+//! `bao_common::sync`.
+use std::sync::Mutex;
+use std::sync::{Arc, Condvar};
+use std::sync::mpsc::channel;
+
+fn bad() {
+    let m = std::sync::Mutex::new(0u32);
+    let (tx, _rx) = std::sync::mpsc::channel::<u32>();
+    let rw = std::sync::RwLock::new(0u32);
+}
+
+fn good() {
+    // std::sync::Mutex in a comment is not a finding
+    let s = "std::sync::Condvar inside a string literal";
+    let arc = std::sync::Arc::new(0u32);
+    let once = std::sync::OnceLock::<u32>::new();
+    let not_std = my_std::sync::Mutex::new(());
+    // bao-lint: allow(no-raw-sync)
+    let audited = std::sync::Mutex::new(());
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_are_not_exempt() {
+        let _ = std::sync::Mutex::new(0u32);
+    }
+}

@@ -230,8 +230,7 @@ pub fn train(
         });
     }
 
-    use std::sync::mpsc;
-    use std::sync::{Arc, Mutex};
+    use bao_common::sync::{mpsc, Arc, Mutex};
     // Persistent pool: jobs flow through one shared channel, results come
     // back tagged with their slot and are reassembled into job order.
     type Tagged = (usize, Arc<TreeCnn>, ShardJob);
@@ -239,7 +238,7 @@ pub fn train(
     let job_rx = Arc::new(Mutex::new(job_rx));
     let (res_tx, res_rx) = mpsc::channel::<(usize, (TreeCnn, f64))>();
 
-    std::thread::scope(|scope| {
+    bao_common::sync::scope(|scope| {
         for _ in 0..threads {
             let job_rx = Arc::clone(&job_rx);
             let res_tx = res_tx.clone();

@@ -1,0 +1,489 @@
+//! The deterministic interleaving explorer (only compiled under
+//! `--cfg bao_race`).
+//!
+//! Real OS threads, serialized: a single execution token (one mutex + one
+//! condvar) admits exactly one thread at a time, and every shim operation
+//! is a *schedule point* where the token holder decides — against the
+//! model's enabled set — which thread runs next. Each run follows a replay
+//! prefix of branch decisions; when the prefix runs out the scheduler
+//! defaults to "keep running the current thread". Completed runs are
+//! backtracked depth-first: the deepest decision with an untried
+//! alternative within the preemption budget seeds the next prefix
+//! (CHESS-style bounded preemption: switching away from a still-enabled
+//! thread costs 1, forced switches are free).
+//!
+//! On any model failure the first detecting thread stores the report,
+//! wakes everyone, and all threads unwind with a quiet payload
+//! (`resume_unwind` skips the panic hook, so aborted runs don't spray
+//! backtraces); the driver reads the failure out of the controller.
+
+use crate::model::{site_str, Exec, Failure, LockGraph, ModelState, Op};
+use bao_common::sync::hooks::{self, RaceHooks};
+use bao_common::sync::Site;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::ThreadId;
+
+/// Panic payload for scheduler-initiated unwinds. Raised via
+/// `resume_unwind`, so the default panic hook (and its backtrace noise)
+/// never runs for aborts the explorer itself caused.
+struct QuietAbort;
+
+fn quiet_abort() -> ! {
+    resume_unwind(Box::new(QuietAbort))
+}
+
+/// One recorded branch point: how many runnable alternatives existed, which
+/// was taken, and whether the switch was forced (current thread disabled).
+#[derive(Clone, Copy, Debug)]
+struct Decision {
+    nalts: usize,
+    chosen: usize,
+    forced: bool,
+}
+
+struct RunSt {
+    model: ModelState,
+    /// Model tid currently holding the execution token.
+    current: usize,
+    /// Branch-decision prefix to replay this run.
+    replay: Vec<usize>,
+    next_decision: usize,
+    trace: Vec<Decision>,
+    /// Real thread -> model tid. Never iterated, so map order is moot.
+    tids: HashMap<ThreadId, usize>,
+}
+
+pub struct Controller {
+    st: Mutex<RunSt>,
+    cv: Condvar,
+}
+
+impl Controller {
+    fn new(replay: Vec<usize>, graph: LockGraph) -> Controller {
+        Controller {
+            st: Mutex::new(RunSt {
+                model: ModelState::new(graph),
+                current: 0,
+                replay,
+                next_decision: 0,
+                trace: Vec::new(),
+                tids: HashMap::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Called on the root thread before the body runs.
+    fn begin_root(&self) {
+        let mut st = self.lock();
+        st.current = 0;
+        st.tids.insert(std::thread::current().id(), 0);
+    }
+
+    fn lock(&self) -> MutexGuard<'_, RunSt> {
+        self.st.lock().expect("controller state")
+    }
+
+    fn my_tid(st: &RunSt) -> Option<usize> {
+        st.tids.get(&std::thread::current().id()).copied()
+    }
+
+    /// Abort the whole run: everyone parked wakes, sees the failure, and
+    /// unwinds quietly.
+    fn abort(&self, st: MutexGuard<'_, RunSt>) -> ! {
+        self.cv.notify_all();
+        drop(st);
+        quiet_abort()
+    }
+
+    /// Runnable threads at a decision made by `tid`: `tid` first if still
+    /// enabled (so replay index 0 always means "keep running"), then the
+    /// others in ascending tid order.
+    fn alternatives(m: &ModelState, tid: usize) -> Vec<usize> {
+        let mut alts = Vec::new();
+        if m.enabled(tid) {
+            alts.push(tid);
+        }
+        for t in 0..m.threads.len() {
+            if t != tid && m.enabled(t) {
+                alts.push(t);
+            }
+        }
+        alts
+    }
+
+    /// Consume the next replay index (or default 0) for a branch with
+    /// `nalts` alternatives, recording the decision.
+    fn decide(&self, st: &mut RunSt, nalts: usize, forced: bool) -> usize {
+        let k = if st.next_decision < st.replay.len() {
+            st.replay[st.next_decision]
+        } else {
+            0
+        };
+        if k >= nalts {
+            st.model.failure =
+                Some(Failure::ReplayDiverged { at_decision: st.next_decision });
+            return 0;
+        }
+        st.next_decision += 1;
+        st.trace.push(Decision { nalts, chosen: k, forced });
+        k
+    }
+
+    /// The heart of the scheduler: park at a schedule point with `op`
+    /// pending, decide who runs next, and return once this thread's op has
+    /// been executed by the model.
+    fn sched_op(&self, op: Op) -> Exec {
+        let mut st = self.lock();
+        let Some(tid) = Self::my_tid(&st) else {
+            // A thread outside the model touched a hooked object (e.g. a
+            // leak into a non-explorer thread): treat as passthrough.
+            return Exec::Unit;
+        };
+        if st.model.failure.is_some() {
+            self.abort(st);
+        }
+        debug_assert_eq!(st.current, tid, "op from a thread not holding the token");
+        st.model.set_pending(tid, op);
+        let alts = Self::alternatives(&st.model, tid);
+        if alts.is_empty() {
+            st.model.fail_deadlock();
+            self.abort(st);
+        }
+        let forced = alts[0] != tid;
+        let k = if alts.len() > 1 { self.decide(&mut st, alts.len(), forced) } else { 0 };
+        if st.model.failure.is_some() {
+            self.abort(st);
+        }
+        let chosen = alts[k];
+        if chosen != tid {
+            st.current = chosen;
+            self.cv.notify_all();
+            while st.current != tid {
+                if st.model.failure.is_some() {
+                    self.abort(st);
+                }
+                st = self.cv.wait(st).expect("controller state");
+            }
+            if st.model.failure.is_some() {
+                self.abort(st);
+            }
+        }
+        // We hold the token and our op is enabled (the granter checked).
+        let out = st.model.exec(tid);
+        if st.model.failure.is_some() {
+            self.abort(st);
+        }
+        out
+    }
+
+    /// Non-scheduling bookkeeping (registrations, sender counts). Runs
+    /// under the state lock on whichever thread holds the token.
+    fn with_state<R>(&self, f: impl FnOnce(&mut ModelState) -> R) -> Option<R> {
+        if std::thread::panicking() {
+            return None;
+        }
+        let mut st = self.lock();
+        if st.model.failure.is_some() {
+            return None;
+        }
+        Some(f(&mut st.model))
+    }
+
+    /// Run-over check used by the driver after the root returns.
+    fn take_results(&self) -> (Vec<Decision>, Option<Failure>, LockGraph) {
+        let mut st = self.lock();
+        let trace = st.trace.clone();
+        let failure = st.model.failure.clone();
+        let graph = std::mem::take(&mut st.model.lock_graph);
+        (trace, failure, graph)
+    }
+}
+
+impl RaceHooks for Controller {
+    fn mutex_register(&self, site: Site) -> usize {
+        self.with_state(|m| m.register_mutex(site_str(site))).unwrap_or(0)
+    }
+
+    fn mutex_lock(&self, id: usize, site: Site) {
+        self.sched_op(Op::Lock { id, site: site_str(site) });
+    }
+
+    fn mutex_unlock(&self, id: usize) {
+        // Guards also drop during quiet-abort unwinding; scheduling then
+        // would panic-in-panic. The model is frozen post-failure anyway.
+        if std::thread::panicking() {
+            return;
+        }
+        self.sched_op(Op::Unlock { id });
+    }
+
+    fn chan_register(&self, site: Site) -> usize {
+        self.with_state(|m| m.register_channel(site_str(site))).unwrap_or(0)
+    }
+
+    fn chan_send(&self, id: usize, site: Site) -> bool {
+        !matches!(self.sched_op(Op::Send { id, site: site_str(site) }), Exec::SendClosed)
+    }
+
+    fn chan_recv(&self, id: usize, site: Site) -> bool {
+        matches!(self.sched_op(Op::Recv { id, site: site_str(site) }), Exec::RecvOk)
+    }
+
+    fn chan_sender_cloned(&self, id: usize) {
+        self.with_state(|m| m.sender_cloned(id));
+    }
+
+    fn chan_sender_dropped(&self, id: usize) {
+        self.with_state(|m| m.sender_dropped(id));
+    }
+
+    fn chan_receiver_dropped(&self, id: usize) {
+        self.with_state(|m| m.receiver_dropped(id));
+    }
+
+    fn cell_register(&self, site: Site) -> usize {
+        self.with_state(|m| m.register_cell(site_str(site))).unwrap_or(0)
+    }
+
+    fn cell_access(&self, id: usize, write: bool, site: Site) {
+        let site = site_str(site);
+        let op = if write { Op::CellWrite { id, site } } else { Op::CellRead { id, site } };
+        self.sched_op(op);
+    }
+
+    fn thread_spawn(&self, site: Site) -> usize {
+        match self.sched_op(Op::Spawn { site: site_str(site) }) {
+            Exec::Spawned(tid) => tid,
+            _ => 0, // passthrough thread (not in the model)
+        }
+    }
+
+    fn thread_start(&self, tid: usize) {
+        let mut st = self.lock();
+        st.tids.insert(std::thread::current().id(), tid);
+        st.model.set_pending(tid, Op::Start);
+        // Wake the parent blocked in thread_await_start.
+        self.cv.notify_all();
+        while st.current != tid {
+            if st.model.failure.is_some() {
+                self.abort(st);
+            }
+            st = self.cv.wait(st).expect("controller state");
+        }
+        if st.model.failure.is_some() {
+            self.abort(st);
+        }
+        st.model.exec(tid);
+    }
+
+    fn thread_await_start(&self, tid: usize) {
+        // The parent holds the token; it only waits for the child to park
+        // (pending `Start`), so the enabled set is deterministic before the
+        // parent's next schedule point. Not a schedule point itself.
+        let mut st = self.lock();
+        while st.model.threads[tid].pending.is_none() {
+            if st.model.failure.is_some() {
+                self.abort(st);
+            }
+            st = self.cv.wait(st).expect("controller state");
+        }
+    }
+
+    fn thread_exit(&self, tid: usize) {
+        let mut st = self.lock();
+        if st.model.failure.is_some() {
+            self.abort(st);
+        }
+        debug_assert_eq!(st.current, tid);
+        st.model.set_pending(tid, Op::Exit);
+        st.model.exec_exit(tid);
+        // Hand the token to a successor. Exit executes eagerly (it has no
+        // data effects beyond publishing the exit clock), so the only
+        // decision is who runs next — a forced, free switch.
+        let alts = Self::alternatives(&st.model, tid);
+        if alts.is_empty() {
+            if !st.model.all_finished() {
+                st.model.fail_deadlock();
+                self.abort(st);
+            }
+            self.cv.notify_all();
+            return;
+        }
+        let k = if alts.len() > 1 { self.decide(&mut st, alts.len(), true) } else { 0 };
+        if st.model.failure.is_some() {
+            self.abort(st);
+        }
+        st.current = alts[k];
+        self.cv.notify_all();
+    }
+
+    fn thread_join(&self, tid: usize, site: Site) {
+        self.sched_op(Op::Join { tid, site: site_str(site) });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DFS driver
+// ---------------------------------------------------------------------------
+
+/// Result of one exploration.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Distinct interleavings actually run.
+    pub interleavings: usize,
+    pub failure: Option<Failure>,
+    /// True when the bounded-preemption schedule space was fully explored
+    /// (rather than stopping at `max_interleavings`).
+    pub exhausted: bool,
+}
+
+impl Outcome {
+    /// Panic with the rendered report on any failure; returns the
+    /// interleaving count on success. The assertion helper suites use.
+    pub fn expect_clean(self) -> usize {
+        if let Some(f) = &self.failure {
+            panic!("bao-race: {}\n(after {} interleavings)", f, self.interleavings);
+        }
+        self.interleavings
+    }
+
+    pub fn expect_failure(self) -> Failure {
+        match self.failure {
+            Some(f) => f,
+            None => panic!(
+                "bao-race: expected a failure but {} interleavings ran clean (exhausted: {})",
+                self.interleavings, self.exhausted
+            ),
+        }
+    }
+}
+
+/// Deepest decision with an untried alternative inside the preemption
+/// budget; the returned prefix seeds the next run.
+fn next_replay(trace: &[Decision], max_preemptions: usize) -> Option<Vec<usize>> {
+    // Preemptions consumed strictly before each decision.
+    let mut used = 0usize;
+    let before: Vec<usize> = trace
+        .iter()
+        .map(|d| {
+            let u = used;
+            if !d.forced && d.chosen > 0 {
+                used += 1;
+            }
+            u
+        })
+        .collect();
+    for i in (0..trace.len()).rev() {
+        let d = trace[i];
+        let next_k = d.chosen + 1;
+        if next_k >= d.nalts {
+            continue;
+        }
+        // Any non-zero choice at a non-forced branch preempts the current
+        // thread.
+        let cost = usize::from(!d.forced);
+        if before[i] + cost > max_preemptions {
+            continue;
+        }
+        let mut replay: Vec<usize> = trace[..i].iter().map(|d| d.chosen).collect();
+        replay.push(next_k);
+        return Some(replay);
+    }
+    None
+}
+
+/// Deterministic DFS explorer with bounded preemption.
+pub struct Explorer {
+    pub name: &'static str,
+    /// Hard cap on runs (keeps `--race-smoke` inside its budget).
+    pub max_interleavings: usize,
+    /// CHESS preemption bound.
+    pub max_preemptions: usize,
+}
+
+impl Explorer {
+    pub fn new(name: &'static str, max_interleavings: usize, max_preemptions: usize) -> Explorer {
+        Explorer { name, max_interleavings, max_preemptions }
+    }
+
+    /// Run `body` under every schedule (up to the bounds), checking each
+    /// for data races, lock-order cycles, and deadlock, and requiring the
+    /// returned bytes to be identical across all interleavings.
+    pub fn check<F>(&self, body: F) -> Outcome
+    where
+        F: Fn() -> Vec<u8> + Sync,
+    {
+        let mut graph = LockGraph::default();
+        let mut replay: Vec<usize> = Vec::new();
+        let mut reference: Option<Vec<u8>> = None;
+        let mut interleavings = 0usize;
+        loop {
+            let ctl = Arc::new(Controller::new(replay, std::mem::take(&mut graph)));
+            let result = run_once(&ctl, &body);
+            interleavings += 1;
+            let (trace, failure, g) = ctl.take_results();
+            graph = g;
+            if let Some(f) = failure {
+                return Outcome { interleavings, failure: Some(f), exhausted: false };
+            }
+            let bytes = match result {
+                Ok(b) => b,
+                // A user panic with no model failure is a genuine bug in
+                // the body; surface it as-is.
+                Err(payload) => resume_unwind(payload),
+            };
+            if let Some(r) = &reference {
+                if *r != bytes {
+                    let first_diff = r.iter().zip(&bytes).position(|(a, b)| a != b);
+                    return Outcome {
+                        interleavings,
+                        failure: Some(Failure::NonDeterminism {
+                            interleaving: interleavings,
+                            len_first: r.len(),
+                            len_this: bytes.len(),
+                            first_diff,
+                        }),
+                        exhausted: false,
+                    };
+                }
+            } else {
+                reference = Some(bytes);
+            }
+            if interleavings >= self.max_interleavings {
+                return Outcome { interleavings, failure: None, exhausted: false };
+            }
+            match next_replay(&trace, self.max_preemptions) {
+                Some(r) => replay = r,
+                None => return Outcome { interleavings, failure: None, exhausted: true },
+            }
+        }
+    }
+}
+
+fn run_once<F>(ctl: &Arc<Controller>, body: &F) -> std::thread::Result<Vec<u8>>
+where
+    F: Fn() -> Vec<u8> + Sync,
+{
+    let res = catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                hooks::set_current(Some(ctl.clone() as hooks::HooksRef));
+                ctl.begin_root();
+                let out = body();
+                ctl.thread_exit(0);
+                hooks::set_current(None);
+                out
+            })
+            .join()
+        })
+    }));
+    // Flatten: a panic escaping the scope (root panicked and the scope
+    // re-raised) and a panic reported through join are the same case.
+    match res {
+        Ok(join_res) => join_res,
+        Err(payload) => Err(payload),
+    }
+}

@@ -1,0 +1,814 @@
+//! The sequentially-consistent execution model the explorer runs programs
+//! against: vector clocks for happens-before, per-object state for every
+//! shim-registered mutex/channel/cell/thread, a cross-interleaving
+//! lock-order graph, and the failure reports the whole crate exists to
+//! produce.
+//!
+//! Everything here is pure data-structure code — no threads, no cfg — so
+//! the checker's core logic is exercised by ordinary `cargo test` even
+//! though the explorer itself only compiles under `--cfg bao_race`.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+/// A source location rendered as `file:line:col`. The shim hands us
+/// `&'static std::panic::Location`s; the model stores display strings so
+/// reports and unit tests stay independent of real locations.
+pub type SiteStr = String;
+
+pub fn site_str(loc: &'static std::panic::Location<'static>) -> SiteStr {
+    format!("{}:{}:{}", loc.file(), loc.line(), loc.column())
+}
+
+// ---------------------------------------------------------------------------
+// Vector clocks
+// ---------------------------------------------------------------------------
+
+/// A vector clock over model thread ids. Component `t` counts the schedule
+/// points thread `t` has executed; joins propagate on every
+/// synchronization edge (lock hand-off, channel message, spawn, join).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock(Vec<u64>);
+
+impl VClock {
+    pub fn get(&self, tid: usize) -> u64 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    pub fn tick(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    pub fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, &v) in other.0.iter().enumerate() {
+            if self.0[i] < v {
+                self.0[i] = v;
+            }
+        }
+    }
+}
+
+/// One recorded access to a [`RaceCell`](bao_common::sync::RaceCell): who,
+/// at which epoch of their own clock, from where.
+#[derive(Clone, Debug)]
+pub struct Access {
+    pub tid: usize,
+    pub epoch: u64,
+    pub write: bool,
+    pub site: SiteStr,
+}
+
+impl Access {
+    /// Does this access happen-before a thread whose clock is `clock`?
+    /// The FastTrack epoch test: `e <= clock[tid]`.
+    fn happens_before(&self, clock: &VClock) -> bool {
+        self.epoch <= clock.get(self.tid)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Operations
+// ---------------------------------------------------------------------------
+
+/// A schedule-point operation a thread is about to perform. Set as the
+/// thread's `pending` op when it reaches the schedule point; executed by
+/// [`ModelState::exec`] once the explorer grants the thread the token.
+#[derive(Clone, Debug)]
+pub enum Op {
+    /// First schedule point of a freshly spawned thread.
+    Start,
+    Lock { id: usize, site: SiteStr },
+    Unlock { id: usize },
+    Send { id: usize, site: SiteStr },
+    Recv { id: usize, site: SiteStr },
+    CellRead { id: usize, site: SiteStr },
+    CellWrite { id: usize, site: SiteStr },
+    Spawn { site: SiteStr },
+    Exit,
+    Join { tid: usize, site: SiteStr },
+}
+
+impl Op {
+    fn describe(&self, m: &ModelState) -> String {
+        match self {
+            Op::Start => "start".to_string(),
+            Op::Lock { id, site } => {
+                format!("lock mutex created at {} (from {})", m.mutexes[*id].site, site)
+            }
+            Op::Unlock { id } => format!("unlock mutex created at {}", m.mutexes[*id].site),
+            Op::Send { id, site } => {
+                format!("send on channel created at {} (from {})", m.channels[*id].site, site)
+            }
+            Op::Recv { id, site } => {
+                format!("recv on channel created at {} (from {})", m.channels[*id].site, site)
+            }
+            Op::CellRead { id, site } => {
+                format!("read cell created at {} (from {})", m.cells[*id].site, site)
+            }
+            Op::CellWrite { id, site } => {
+                format!("write cell created at {} (from {})", m.cells[*id].site, site)
+            }
+            Op::Spawn { site } => format!("spawn (from {})", site),
+            Op::Exit => "exit".to_string(),
+            Op::Join { tid, site } => format!("join thread #{} (from {})", tid, site),
+        }
+    }
+}
+
+/// Result of executing a pending op, for ops whose shim-side behavior
+/// depends on the model's answer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Exec {
+    Unit,
+    SendOk,
+    /// Send on a channel whose receiver is gone (`SendError`).
+    SendClosed,
+    RecvOk,
+    /// Recv on an empty channel with no senders left (`RecvError`).
+    RecvClosed,
+    Spawned(usize),
+}
+
+// ---------------------------------------------------------------------------
+// Per-object state
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+pub struct ThreadSt {
+    pub alive: bool,
+    pub pending: Option<Op>,
+    pub clock: VClock,
+    /// Mutexes currently held: `(mutex id, acquisition site)`.
+    pub held: Vec<(usize, SiteStr)>,
+    pub exit_clock: Option<VClock>,
+}
+
+#[derive(Clone, Debug)]
+pub struct MutexSt {
+    pub site: SiteStr,
+    pub owner: Option<usize>,
+    /// Clock of the last releaser; joined into each acquirer.
+    pub clock: VClock,
+}
+
+#[derive(Clone, Debug)]
+pub struct ChanSt {
+    pub site: SiteStr,
+    /// Sender clocks of queued messages, in send order. The real channel
+    /// carries the values; the model carries the happens-before edges.
+    pub queue: VecDeque<VClock>,
+    pub senders: usize,
+    pub receiver_alive: bool,
+}
+
+#[derive(Clone, Debug)]
+pub struct CellSt {
+    pub site: SiteStr,
+    pub last_write: Option<Access>,
+    /// Most recent read per thread since the last write.
+    pub reads: Vec<Access>,
+}
+
+// ---------------------------------------------------------------------------
+// Lock-order graph
+// ---------------------------------------------------------------------------
+
+/// Witness for one lock-order edge: while holding a mutex created at the
+/// `from` site (acquired at `held_at`), a thread acquired a mutex created
+/// at the `to` site (at `acquired_at`).
+#[derive(Clone, Debug)]
+pub struct EdgeCtx {
+    pub thread: usize,
+    pub held_at: SiteStr,
+    pub acquired_at: SiteStr,
+}
+
+/// One edge of a reported cycle, with both acquisition sites.
+#[derive(Clone, Debug)]
+pub struct CycleEdge {
+    pub held_site: SiteStr,
+    pub then_site: SiteStr,
+    pub ctx: EdgeCtx,
+}
+
+/// Lock-order graph keyed by mutex *creation site* (lockdep-style), so
+/// evidence accumulates across every interleaving of an exploration — a
+/// cycle is reported even if no single run deadlocks.
+#[derive(Debug, Default)]
+pub struct LockGraph {
+    index: BTreeMap<SiteStr, usize>,
+    sites: Vec<SiteStr>,
+    edges: BTreeMap<(usize, usize), EdgeCtx>,
+}
+
+impl LockGraph {
+    fn node(&mut self, site: &str) -> usize {
+        if let Some(&i) = self.index.get(site) {
+            return i;
+        }
+        let i = self.sites.len();
+        self.sites.push(site.to_string());
+        self.index.insert(site.to_string(), i);
+        i
+    }
+
+    /// Record `from_site -> to_site`; returns the cycle (as reportable
+    /// edges) if this edge closes one.
+    pub fn add_edge(
+        &mut self,
+        from_site: &str,
+        to_site: &str,
+        ctx: EdgeCtx,
+    ) -> Option<Vec<CycleEdge>> {
+        let from = self.node(from_site);
+        let to = self.node(to_site);
+        self.edges.entry((from, to)).or_insert(ctx);
+        // A cycle through the new edge exists iff `from` is reachable
+        // from `to`. (`from == to` is the degenerate self-cycle.)
+        let path = self.path(to, from)?;
+        let mut cycle = Vec::new();
+        let mut nodes = vec![from, to];
+        nodes.extend(path.iter().skip(1));
+        for w in nodes.windows(2) {
+            let ctx = self.edges[&(w[0], w[1])].clone();
+            cycle.push(CycleEdge {
+                held_site: self.sites[w[0]].clone(),
+                then_site: self.sites[w[1]].clone(),
+                ctx,
+            });
+        }
+        Some(cycle)
+    }
+
+    /// A path `start -> ... -> goal` over recorded edges (DFS, node order
+    /// deterministic via the BTreeMap), or None.
+    fn path(&self, start: usize, goal: usize) -> Option<Vec<usize>> {
+        let mut stack = vec![vec![start]];
+        let mut seen = vec![false; self.sites.len()];
+        seen[start] = true;
+        while let Some(path) = stack.pop() {
+            let last = *path.last().expect("non-empty path");
+            if last == goal {
+                return Some(path);
+            }
+            for (&(f, t), _) in self.edges.range((last, 0)..(last + 1, 0)) {
+                debug_assert_eq!(f, last);
+                if !seen[t] {
+                    seen[t] = true;
+                    let mut p = path.clone();
+                    p.push(t);
+                    stack.push(p);
+                }
+            }
+        }
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Failures
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+pub struct BlockedInfo {
+    pub thread: usize,
+    pub op: String,
+    pub holds: Vec<SiteStr>,
+}
+
+/// Everything the checker can find. `Display` renders the human report the
+/// acceptance criteria call "readable two-stack".
+#[derive(Clone, Debug)]
+pub enum Failure {
+    DataRace {
+        cell_site: SiteStr,
+        first: Access,
+        second: Access,
+    },
+    LockCycle {
+        cycle: Vec<CycleEdge>,
+    },
+    Deadlock {
+        blocked: Vec<BlockedInfo>,
+    },
+    NonDeterminism {
+        interleaving: usize,
+        len_first: usize,
+        len_this: usize,
+        first_diff: Option<usize>,
+    },
+    /// A replayed schedule prefix stopped matching the program — the body
+    /// under test is itself nondeterministic in its sync structure.
+    ReplayDiverged {
+        at_decision: usize,
+    },
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Failure::DataRace { cell_site, first, second } => {
+                writeln!(f, "data race on cell created at {}", cell_site)?;
+                for (label, a) in [("first", first), ("second", second)] {
+                    writeln!(
+                        f,
+                        "  {} access: thread #{} {} at {} (epoch {})",
+                        label,
+                        a.tid,
+                        if a.write { "write" } else { "read" },
+                        a.site,
+                        a.epoch
+                    )?;
+                }
+                write!(f, "  no happens-before edge orders these accesses")
+            }
+            Failure::LockCycle { cycle } => {
+                writeln!(f, "lock-order cycle over {} mutex site(s):", cycle.len())?;
+                for e in cycle {
+                    writeln!(
+                        f,
+                        "  thread #{} held mutex[{}] (acquired at {})\n    then acquired mutex[{}] at {}",
+                        e.ctx.thread, e.held_site, e.ctx.held_at, e.then_site, e.ctx.acquired_at
+                    )?;
+                }
+                write!(f, "  these acquisition orders cannot all be safe")
+            }
+            Failure::Deadlock { blocked } => {
+                writeln!(f, "deadlock: no runnable thread; blocked threads:")?;
+                for b in blocked {
+                    writeln!(f, "  thread #{} blocked on {}", b.thread, b.op)?;
+                    for h in &b.holds {
+                        writeln!(f, "    while holding mutex created at {}", h)?;
+                    }
+                }
+                write!(f, "  every live thread waits on another")
+            }
+            Failure::NonDeterminism { interleaving, len_first, len_this, first_diff } => {
+                write!(
+                    f,
+                    "nondeterministic result: interleaving #{} produced {} bytes vs {} in \
+                     interleaving #1",
+                    interleaving, len_this, len_first
+                )?;
+                if let Some(i) = first_diff {
+                    write!(f, " (first differing byte at offset {})", i)?;
+                }
+                Ok(())
+            }
+            Failure::ReplayDiverged { at_decision } => write!(
+                f,
+                "schedule replay diverged at decision {} — the body's sync structure is \
+                 not a pure function of the schedule",
+                at_decision
+            ),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The model
+// ---------------------------------------------------------------------------
+
+pub struct ModelState {
+    pub threads: Vec<ThreadSt>,
+    pub mutexes: Vec<MutexSt>,
+    pub channels: Vec<ChanSt>,
+    pub cells: Vec<CellSt>,
+    pub lock_graph: LockGraph,
+    pub failure: Option<Failure>,
+}
+
+impl ModelState {
+    /// Fresh run. `lock_graph` carries edges accumulated by earlier
+    /// interleavings of the same exploration.
+    pub fn new(lock_graph: LockGraph) -> ModelState {
+        let mut root_clock = VClock::default();
+        root_clock.tick(0);
+        ModelState {
+            threads: vec![ThreadSt {
+                alive: true,
+                pending: None,
+                clock: root_clock,
+                held: Vec::new(),
+                exit_clock: None,
+            }],
+            mutexes: Vec::new(),
+            channels: Vec::new(),
+            cells: Vec::new(),
+            lock_graph,
+            failure: None,
+        }
+    }
+
+    pub fn register_mutex(&mut self, site: SiteStr) -> usize {
+        self.mutexes.push(MutexSt { site, owner: None, clock: VClock::default() });
+        self.mutexes.len() - 1
+    }
+
+    pub fn register_channel(&mut self, site: SiteStr) -> usize {
+        self.channels.push(ChanSt {
+            site,
+            queue: VecDeque::new(),
+            senders: 1,
+            receiver_alive: true,
+        });
+        self.channels.len() - 1
+    }
+
+    pub fn register_cell(&mut self, site: SiteStr) -> usize {
+        self.cells.push(CellSt { site, last_write: None, reads: Vec::new() });
+        self.cells.len() - 1
+    }
+
+    pub fn sender_cloned(&mut self, id: usize) {
+        self.channels[id].senders += 1;
+    }
+
+    pub fn sender_dropped(&mut self, id: usize) {
+        self.channels[id].senders = self.channels[id].senders.saturating_sub(1);
+    }
+
+    pub fn receiver_dropped(&mut self, id: usize) {
+        self.channels[id].receiver_alive = false;
+    }
+
+    pub fn set_pending(&mut self, tid: usize, op: Op) {
+        debug_assert!(self.threads[tid].pending.is_none(), "thread already pending");
+        self.threads[tid].pending = Some(op);
+    }
+
+    /// May `tid`'s pending op execute now?
+    pub fn enabled(&self, tid: usize) -> bool {
+        let t = &self.threads[tid];
+        if !t.alive {
+            return false;
+        }
+        match &t.pending {
+            None => false,
+            Some(Op::Lock { id, .. }) => self.mutexes[*id].owner.is_none(),
+            Some(Op::Recv { id, .. }) => {
+                let c = &self.channels[*id];
+                !c.queue.is_empty() || c.senders == 0
+            }
+            Some(Op::Join { tid: child, .. }) => !self.threads[*child].alive,
+            Some(_) => true,
+        }
+    }
+
+    pub fn all_finished(&self) -> bool {
+        self.threads.iter().all(|t| !t.alive)
+    }
+
+    /// Execute `tid`'s pending op. The caller (explorer) guarantees the op
+    /// is enabled. May set `self.failure` (data race / lock cycle).
+    pub fn exec(&mut self, tid: usize) -> Exec {
+        let op = self.threads[tid].pending.take().expect("pending op");
+        self.threads[tid].clock.tick(tid);
+        match op {
+            Op::Start => Exec::Unit,
+            Op::Lock { id, site } => {
+                self.check_lock_order(tid, id, &site);
+                let m = &mut self.mutexes[id];
+                debug_assert!(m.owner.is_none());
+                m.owner = Some(tid);
+                let mclock = m.clock.clone();
+                self.threads[tid].clock.join(&mclock);
+                self.threads[tid].held.push((id, site));
+                Exec::Unit
+            }
+            Op::Unlock { id } => {
+                let released = self.threads[tid].clock.clone();
+                let m = &mut self.mutexes[id];
+                debug_assert_eq!(m.owner, Some(tid));
+                m.owner = None;
+                m.clock = released;
+                self.threads[tid].held.retain(|(h, _)| *h != id);
+                Exec::Unit
+            }
+            Op::Send { id, .. } => {
+                let sent = self.threads[tid].clock.clone();
+                let c = &mut self.channels[id];
+                if !c.receiver_alive {
+                    return Exec::SendClosed;
+                }
+                c.queue.push_back(sent);
+                Exec::SendOk
+            }
+            Op::Recv { id, .. } => match self.channels[id].queue.pop_front() {
+                Some(sender_clock) => {
+                    self.threads[tid].clock.join(&sender_clock);
+                    Exec::RecvOk
+                }
+                None => {
+                    debug_assert_eq!(self.channels[id].senders, 0);
+                    Exec::RecvClosed
+                }
+            },
+            Op::CellRead { id, site } => {
+                self.check_cell_access(tid, id, false, site);
+                Exec::Unit
+            }
+            Op::CellWrite { id, site } => {
+                self.check_cell_access(tid, id, true, site);
+                Exec::Unit
+            }
+            Op::Spawn { .. } => {
+                let mut clock = self.threads[tid].clock.clone();
+                let child = self.threads.len();
+                clock.tick(child);
+                self.threads.push(ThreadSt {
+                    alive: true,
+                    pending: None,
+                    clock,
+                    held: Vec::new(),
+                    exit_clock: None,
+                });
+                Exec::Spawned(child)
+            }
+            Op::Exit => unreachable!("Exit goes through exec_exit"),
+            Op::Join { tid: child, .. } => {
+                let ec = self.threads[child]
+                    .exit_clock
+                    .clone()
+                    .expect("joined thread has exited");
+                self.threads[tid].clock.join(&ec);
+                Exec::Unit
+            }
+        }
+    }
+
+    /// Execute an `Exit` — split out because the thread transitions to
+    /// dead rather than producing a normal outcome.
+    pub fn exec_exit(&mut self, tid: usize) {
+        let op = self.threads[tid].pending.take();
+        debug_assert!(matches!(op, Some(Op::Exit)));
+        self.threads[tid].clock.tick(tid);
+        let t = &mut self.threads[tid];
+        t.alive = false;
+        t.exit_clock = Some(t.clock.clone());
+    }
+
+    fn check_lock_order(&mut self, tid: usize, id: usize, site: &str) {
+        let to_site = self.mutexes[id].site.clone();
+        let held: Vec<(usize, SiteStr)> = self.threads[tid].held.clone();
+        for (hid, held_at) in held {
+            let from_site = self.mutexes[hid].site.clone();
+            let ctx = EdgeCtx {
+                thread: tid,
+                held_at,
+                acquired_at: site.to_string(),
+            };
+            if let Some(cycle) = self.lock_graph.add_edge(&from_site, &to_site, ctx) {
+                self.failure = Some(Failure::LockCycle { cycle });
+                return;
+            }
+        }
+    }
+
+    fn check_cell_access(&mut self, tid: usize, id: usize, write: bool, site: SiteStr) {
+        let clock = self.threads[tid].clock.clone();
+        let access = Access { tid, epoch: clock.get(tid), write, site };
+        let cell = &mut self.cells[id];
+        // A write must be ordered after the previous write and every read
+        // since it; a read must be ordered after the previous write.
+        let mut conflict = None;
+        if let Some(w) = &cell.last_write {
+            if w.tid != tid && !w.happens_before(&clock) {
+                conflict = Some(w.clone());
+            }
+        }
+        if write && conflict.is_none() {
+            conflict = cell
+                .reads
+                .iter()
+                .find(|r| r.tid != tid && !r.happens_before(&clock))
+                .cloned();
+        }
+        if let Some(first) = conflict {
+            self.failure = Some(Failure::DataRace {
+                cell_site: cell.site.clone(),
+                first,
+                second: access,
+            });
+            return;
+        }
+        if write {
+            cell.reads.clear();
+            cell.last_write = Some(access);
+        } else {
+            cell.reads.retain(|r| r.tid != tid);
+            cell.reads.push(access);
+        }
+    }
+
+    /// No thread is runnable but live threads remain: build the deadlock
+    /// report from every blocked thread's pending op and held locks.
+    pub fn fail_deadlock(&mut self) {
+        let blocked = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.alive)
+            .map(|(tid, t)| BlockedInfo {
+                thread: tid,
+                op: t
+                    .pending
+                    .as_ref()
+                    .map(|op| op.describe(self))
+                    .unwrap_or_else(|| "running (no schedule point)".to_string()),
+                holds: t.held.iter().map(|(id, _)| self.mutexes[*id].site.clone()).collect(),
+            })
+            .collect();
+        self.failure = Some(Failure::Deadlock { blocked });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lock(m: &mut ModelState, tid: usize, id: usize, site: &str) {
+        m.set_pending(tid, Op::Lock { id, site: site.to_string() });
+        assert!(m.enabled(tid));
+        m.exec(tid);
+    }
+
+    fn unlock(m: &mut ModelState, tid: usize, id: usize) {
+        m.set_pending(tid, Op::Unlock { id });
+        m.exec(tid);
+    }
+
+    fn spawn(m: &mut ModelState, tid: usize) -> usize {
+        m.set_pending(tid, Op::Spawn { site: "t.rs:1:1".into() });
+        match m.exec(tid) {
+            Exec::Spawned(t) => {
+                m.set_pending(t, Op::Start);
+                m.exec(t);
+                t
+            }
+            other => panic!("expected spawn, got {other:?}"),
+        }
+    }
+
+    fn access(m: &mut ModelState, tid: usize, id: usize, write: bool, site: &str) {
+        let op = if write {
+            Op::CellWrite { id, site: site.to_string() }
+        } else {
+            Op::CellRead { id, site: site.to_string() }
+        };
+        m.set_pending(tid, op);
+        m.exec(tid);
+    }
+
+    #[test]
+    fn mutex_orders_cell_accesses() {
+        let mut m = ModelState::new(LockGraph::default());
+        let mx = m.register_mutex("m.rs:1:1".into());
+        let cell = m.register_cell("c.rs:1:1".into());
+        let t1 = spawn(&mut m, 0);
+        // Root writes under the mutex, t1 reads under the mutex: the
+        // release->acquire edge orders the accesses.
+        lock(&mut m, 0, mx, "a.rs:10:5");
+        access(&mut m, 0, cell, true, "a.rs:11:5");
+        unlock(&mut m, 0, mx);
+        lock(&mut m, t1, mx, "b.rs:20:5");
+        access(&mut m, t1, cell, false, "b.rs:21:5");
+        unlock(&mut m, t1, mx);
+        assert!(m.failure.is_none(), "{:?}", m.failure);
+    }
+
+    #[test]
+    fn unguarded_write_write_is_a_race() {
+        let mut m = ModelState::new(LockGraph::default());
+        let cell = m.register_cell("c.rs:1:1".into());
+        let t1 = spawn(&mut m, 0);
+        access(&mut m, 0, cell, true, "a.rs:11:5");
+        access(&mut m, t1, cell, true, "b.rs:21:5");
+        match &m.failure {
+            Some(Failure::DataRace { first, second, .. }) => {
+                assert_eq!(first.tid, 0);
+                assert_eq!(second.tid, t1);
+                assert_eq!(first.site, "a.rs:11:5");
+                assert_eq!(second.site, "b.rs:21:5");
+                let report = m.failure.as_ref().unwrap().to_string();
+                assert!(report.contains("a.rs:11:5") && report.contains("b.rs:21:5"));
+            }
+            other => panic!("expected DataRace, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_read_is_not_a_race() {
+        let mut m = ModelState::new(LockGraph::default());
+        let cell = m.register_cell("c.rs:1:1".into());
+        let t1 = spawn(&mut m, 0);
+        access(&mut m, 0, cell, false, "a.rs:1:1");
+        access(&mut m, t1, cell, false, "b.rs:1:1");
+        assert!(m.failure.is_none());
+    }
+
+    #[test]
+    fn write_after_unordered_read_is_a_race() {
+        let mut m = ModelState::new(LockGraph::default());
+        let cell = m.register_cell("c.rs:1:1".into());
+        let t1 = spawn(&mut m, 0);
+        access(&mut m, t1, cell, false, "b.rs:1:1");
+        access(&mut m, 0, cell, true, "a.rs:2:2");
+        assert!(matches!(m.failure, Some(Failure::DataRace { .. })), "{:?}", m.failure);
+    }
+
+    #[test]
+    fn channel_message_creates_happens_before() {
+        let mut m = ModelState::new(LockGraph::default());
+        let ch = m.register_channel("ch.rs:1:1".into());
+        let cell = m.register_cell("c.rs:1:1".into());
+        let t1 = spawn(&mut m, 0);
+        access(&mut m, 0, cell, true, "a.rs:1:1");
+        m.set_pending(0, Op::Send { id: ch, site: "a.rs:2:1".into() });
+        assert_eq!(m.exec(0), Exec::SendOk);
+        m.set_pending(t1, Op::Recv { id: ch, site: "b.rs:1:1".into() });
+        assert!(m.enabled(t1));
+        assert_eq!(m.exec(t1), Exec::RecvOk);
+        // The recv joined the sender's clock: t1's read is now ordered.
+        access(&mut m, t1, cell, false, "b.rs:2:1");
+        assert!(m.failure.is_none(), "{:?}", m.failure);
+    }
+
+    #[test]
+    fn recv_disabled_until_message_or_close() {
+        let mut m = ModelState::new(LockGraph::default());
+        let ch = m.register_channel("ch.rs:1:1".into());
+        let t1 = spawn(&mut m, 0);
+        m.set_pending(t1, Op::Recv { id: ch, site: "b.rs:1:1".into() });
+        assert!(!m.enabled(t1));
+        m.sender_dropped(ch);
+        assert!(m.enabled(t1), "closed channel enables recv (as RecvClosed)");
+        assert_eq!(m.exec(t1), Exec::RecvClosed);
+    }
+
+    #[test]
+    fn lock_inversion_reported_across_runs() {
+        // Run 1 sees A then B; run 2 (fresh model, same graph) sees B then
+        // A. Neither run deadlocks, but the graph catches the inversion.
+        let mut graph = LockGraph::default();
+        {
+            let mut m = ModelState::new(std::mem::take(&mut graph));
+            let a = m.register_mutex("a.rs:1:1".into());
+            let b = m.register_mutex("b.rs:1:1".into());
+            lock(&mut m, 0, a, "x.rs:10:1");
+            lock(&mut m, 0, b, "x.rs:11:1");
+            unlock(&mut m, 0, b);
+            unlock(&mut m, 0, a);
+            assert!(m.failure.is_none());
+            graph = m.lock_graph;
+        }
+        let mut m = ModelState::new(graph);
+        let a = m.register_mutex("a.rs:1:1".into());
+        let b = m.register_mutex("b.rs:1:1".into());
+        lock(&mut m, 0, b, "y.rs:20:1");
+        m.set_pending(0, Op::Lock { id: a, site: "y.rs:21:1".to_string() });
+        m.exec(0);
+        match &m.failure {
+            Some(Failure::LockCycle { cycle }) => {
+                assert_eq!(cycle.len(), 2);
+                let report = m.failure.as_ref().unwrap().to_string();
+                // Both acquisition stacks are present.
+                assert!(report.contains("x.rs:11:1"), "{report}");
+                assert!(report.contains("y.rs:21:1"), "{report}");
+            }
+            other => panic!("expected LockCycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadlock_report_lists_blockers() {
+        let mut m = ModelState::new(LockGraph::default());
+        let a = m.register_mutex("a.rs:1:1".into());
+        let b = m.register_mutex("b.rs:1:1".into());
+        let t1 = spawn(&mut m, 0);
+        lock(&mut m, 0, a, "x.rs:1:1");
+        lock(&mut m, t1, b, "y.rs:1:1");
+        m.set_pending(0, Op::Lock { id: b, site: "x.rs:2:1".to_string() });
+        m.set_pending(t1, Op::Lock { id: a, site: "y.rs:2:1".to_string() });
+        assert!(!m.enabled(0) && !m.enabled(t1));
+        m.fail_deadlock();
+        let report = m.failure.as_ref().unwrap().to_string();
+        assert!(report.contains("thread #0") && report.contains("thread #1"), "{report}");
+        assert!(report.contains("a.rs:1:1") && report.contains("b.rs:1:1"), "{report}");
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_reports_closed() {
+        let mut m = ModelState::new(LockGraph::default());
+        let ch = m.register_channel("ch.rs:1:1".into());
+        m.receiver_dropped(ch);
+        m.set_pending(0, Op::Send { id: ch, site: "a.rs:1:1".into() });
+        assert_eq!(m.exec(0), Exec::SendClosed);
+    }
+}

@@ -5,8 +5,8 @@ use bao_common::split_seed;
 use bao_plan::{CmpOp, Predicate};
 use bao_common::Rng;
 use bao_storage::{ColumnData, Database, Table};
+use bao_common::sync::Mutex;
 use std::collections::HashMap;
-use std::sync::Mutex;
 
 /// A filter predicate with its literal resolved to the numeric domain the
 /// statistics are built over (dictionary codes for text columns). Literals
@@ -239,7 +239,12 @@ impl Estimator for SampleEstimator {
     ) -> f64 {
         let key: JoinKey =
             (l_table.to_string(), l_col.to_string(), r_table.to_string(), r_col.to_string());
-        if let Some(&v) = cat.join_cache.lock().expect("join cache").get(&key) {
+        // Probe in a statement-scoped guard: an `if let` on the locked map
+        // would keep the cache locked across the hit path, and the lock
+        // must never be held across estimation (which may recurse into
+        // other estimators sharing this catalog).
+        let cached = cat.join_cache.lock().expect("join cache").get(&key).copied();
+        if let Some(v) = cached {
             return v;
         }
         let fallback = PostgresEstimator.join_selectivity(cat, l_table, l_col, r_table, r_col);

@@ -30,6 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         enabled: false,
         bootstrap: true,
         parallel_planning: true,
+        planning_threads: 0,
         seed: 9,
     });
     let mut pool = BufferPool::new(N1_16.buffer_pool_pages());

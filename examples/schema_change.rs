@@ -28,6 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         enabled: true,
         bootstrap: true,
         parallel_planning: true,
+        planning_threads: 0,
         seed: 4,
     });
     let mut pool = BufferPool::new(N1_16.buffer_pool_pages());

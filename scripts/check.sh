@@ -9,6 +9,12 @@
 #                        each --quick --gate, failing on a gated
 #                        regression against results/bench_baselines.json
 #                        (DESIGN.md §8, §9, §10, §11)
+#   5. race smoke      — opt-in via --race-smoke: the bao-race suites
+#                        (detection fixtures + the three production
+#                        suites) under --cfg bao_race, bounded so the
+#                        whole pass stays within ~60s (DESIGN.md §12).
+#                        Interleaving counts land in
+#                        results/race_report.json
 #
 # Run from anywhere; operates on the repo containing this script.
 set -euo pipefail
@@ -17,9 +23,11 @@ repo="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo"
 
 bench_smoke=0
+race_smoke=0
 for arg in "$@"; do
     case "$arg" in
         --bench-smoke) bench_smoke=1 ;;
+        --race-smoke) race_smoke=1 ;;
         *) echo "unknown flag: $arg" >&2; exit 2 ;;
     esac
 done
@@ -52,6 +60,15 @@ if [ "$bench_smoke" = 1 ]; then
     echo
     echo "== bench smoke (cache_bench --quick --gate) =="
     cargo run -q --release -p bao-bench --bin cache_bench -- --quick --gate
+fi
+
+if [ "$race_smoke" = 1 ]; then
+    echo
+    echo "== race smoke (bao-race under --cfg bao_race) =="
+    # A separate target dir keeps the instrumented build from evicting
+    # the normal incremental caches (the cfg changes every crate).
+    RUSTFLAGS="--cfg bao_race" CARGO_TARGET_DIR=target/race \
+        cargo test -q -p bao-race
 fi
 
 echo
