@@ -1,8 +1,8 @@
-//! `baodb` — an interactive SQL shell over the whole stack, with Bao
-//! integrated the way the paper's §4 PostgreSQL extension is: per-session
-//! activation (`SET enable_bao TO on/off`), EXPLAIN augmented with Bao's
-//! prediction and recommended hint (advisor mode), and a live view of the
-//! bandit's state.
+//! `baodb` — a SQL shell over the whole stack, with Bao integrated the way
+//! the paper's §4 PostgreSQL extension is: per-session activation
+//! (`SET enable_bao TO on/off`), EXPLAIN augmented with Bao's prediction
+//! and recommended hint (advisor mode), and a live view of the bandit's
+//! state.
 //!
 //! ```console
 //! $ cargo run --release -p bao-bench --bin baodb
@@ -14,74 +14,67 @@
 //! ```
 //!
 //! Meta commands: `\help`, `\tables`, `\bao`, `\timing`, `\q`.
+//!
+//! Non-interactive mode: `--script <file>` runs the statements from a
+//! file through the same shell loop (no prompts) and records headline
+//! baselines (`baodb_script_qps`, `baodb_script_statements`) in
+//! `results/bench_baselines.json` like every other experiment binary;
+//! `--update-baseline` re-records after an intentional move.
+//! `--shard-workers N` executes queries over N shards on the morsel pool
+//! (DESIGN.md §13); output is bit-identical at any width.
 
+use bao_bench::timing::note_headlines;
 use bao_bench::Args;
 use bao_cloud::N1_16;
 use bao_core::{Bao, BaoConfig};
-use bao_exec::execute;
+use bao_exec::{execute_with, ExecConfig};
 use bao_opt::{HintSet, Optimizer};
 use bao_sql::{parse_statement, Statement};
 use bao_stats::StatsCatalog;
-use bao_storage::BufferPool;
+use bao_storage::{BufferPool, Database};
 use bao_workloads::imdb::build_imdb_database;
 use std::io::{BufRead, Write};
 
-fn main() {
-    let args = Args::from_env();
-    let scale = args.scale(0.1);
-    let seed = args.seed();
+/// One session's state plus cumulative counters for headline reporting.
+struct Shell {
+    db: Database,
+    cat: StatsCatalog,
+    opt: Optimizer,
+    rates: bao_exec::ChargeRates,
+    pool: BufferPool,
+    bao: Bao,
+    exec: ExecConfig,
+    timing: bool,
+    /// Partial statement accumulated until a terminating `;`.
+    buffer: String,
+    statements: u64,
+    selects: u64,
+    simulated_ms: f64,
+}
 
-    eprintln!("loading IMDb-like database (scale {scale})...");
-    let db = build_imdb_database(scale, seed).expect("build database");
-    let cat = StatsCatalog::analyze(&db, 1_000, seed);
-    let opt = Optimizer::postgres();
-    let rates = N1_16.charge_rates();
-    let mut pool = BufferPool::new(N1_16.buffer_pool_pages());
-    let mut bao = Bao::new(BaoConfig {
-        arms: HintSet::top_arms(6),
-        window_size: 2_000,
-        retrain_interval: 25,
-        cache_features: true,
-        enabled: false, // like the paper: off until SET enable_bao TO on
-        bootstrap: true,
-        parallel_planning: true,
-        planning_threads: 0,
-        seed,
-    });
-    let mut timing = true;
+/// What the caller should do after a line is handled.
+enum Flow {
+    Continue,
+    Quit,
+}
 
-    eprintln!(
-        "tables: {}. Bao is OFF (observing only); `SET enable_bao TO on` to activate. \\help for help.",
-        db.table_names().join(", ")
-    );
-    let stdin = std::io::stdin();
-    let mut buffer = String::new();
-    loop {
-        if buffer.is_empty() {
-            eprint!("baodb=# ");
-        } else {
-            eprint!("baodb-# ");
-        }
-        std::io::stderr().flush().ok();
-        let mut line = String::new();
-        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
-            break; // EOF
-        }
+impl Shell {
+    fn handle_line(&mut self, line: &str) -> Flow {
         let line = line.trim();
-        if line.is_empty() {
-            continue;
+        if line.is_empty() || (self.buffer.is_empty() && line.starts_with("--")) {
+            return Flow::Continue;
         }
         // Meta commands act immediately.
-        if buffer.is_empty() && line.starts_with('\\') {
+        if self.buffer.is_empty() && line.starts_with('\\') {
             match line.trim_end_matches(';') {
-                "\\q" => break,
+                "\\q" => return Flow::Quit,
                 "\\timing" => {
-                    timing = !timing;
-                    println!("timing {}", if timing { "on" } else { "off" });
+                    self.timing = !self.timing;
+                    println!("timing {}", if self.timing { "on" } else { "off" });
                 }
                 "\\tables" => {
-                    for t in db.table_names() {
-                        let st = db.by_name(t).unwrap();
+                    for t in self.db.table_names() {
+                        let st = self.db.by_name(t).expect("listed table exists");
                         println!(
                             "  {t}: {} rows, {} pages, indexes on [{}]",
                             st.table.row_count(),
@@ -96,62 +89,79 @@ fn main() {
                 }
                 "\\bao" => {
                     println!(
-                        "enabled: {} | model: {} (fitted: {}) | arms: {} | experience: {} | retrains: {}",
-                        bao.cfg.enabled,
-                        bao.model_name(),
-                        bao.is_model_fitted(),
-                        bao.cfg.arms.len(),
-                        bao.experience_len(),
-                        bao.retrains()
+                        "enabled: {} | model: {} (fitted: {}) | arms: {} | experience: {} | retrains: {} | shard workers: {}",
+                        self.bao.cfg.enabled,
+                        self.bao.model_name(),
+                        self.bao.is_model_fitted(),
+                        self.bao.cfg.arms.len(),
+                        self.bao.experience_len(),
+                        self.bao.retrains(),
+                        self.exec.resolved_workers(),
                     );
                 }
-                _ => println!(
-                    "meta commands: \\help \\tables \\bao \\timing \\q"
-                ),
+                _ => println!("meta commands: \\help \\tables \\bao \\timing \\q"),
             }
-            continue;
+            return Flow::Continue;
         }
         // SET enable_bao TO on/off (paper §4 per-session activation).
-        if buffer.is_empty() {
+        if self.buffer.is_empty() {
             let lower = line.to_ascii_lowercase();
             if let Some(rest) = lower.strip_prefix("set enable_bao to ") {
-                bao.cfg.enabled = rest.trim_end_matches(';').trim() == "on";
-                println!("SET (Bao {})", if bao.cfg.enabled { "active" } else { "advisor-only" });
-                continue;
+                self.bao.cfg.enabled = rest.trim_end_matches(';').trim() == "on";
+                println!(
+                    "SET (Bao {})",
+                    if self.bao.cfg.enabled { "active" } else { "advisor-only" }
+                );
+                return Flow::Continue;
             }
         }
         // Accumulate until a semicolon terminates the statement.
-        buffer.push_str(line);
-        buffer.push(' ');
+        self.buffer.push_str(line);
+        self.buffer.push(' ');
         if !line.ends_with(';') {
-            continue;
+            return Flow::Continue;
         }
-        let sql = std::mem::take(&mut buffer);
+        let sql = std::mem::take(&mut self.buffer);
+        self.statements += 1;
         match parse_statement(&sql) {
             Err(e) => println!("ERROR: {e}"),
             Ok(Statement::Explain(q)) => {
-                if bao.is_model_fitted() {
-                    match bao.advise(&opt, &q, &db, &cat, Some(&pool)) {
+                if self.bao.is_model_fitted() {
+                    match self.bao.advise(&self.opt, &q, &self.db, &self.cat, Some(&self.pool)) {
                         Ok(advice) => print!("{}", advice.render()),
                         Err(e) => println!("ERROR: {e}"),
                     }
                 } else {
                     // No model yet: plain EXPLAIN.
-                    match opt.plan(&q, &db, &cat, HintSet::all_enabled()) {
+                    match self.opt.plan(&q, &self.db, &self.cat, HintSet::all_enabled()) {
                         Ok(p) => print!("{}", p.root.explain()),
                         Err(e) => println!("ERROR: {e}"),
                     }
                 }
             }
             Ok(Statement::Select(q)) => {
-                let sel = match bao.select_plan(&opt, &q, &db, &cat, Some(&pool)) {
+                let sel = match self.bao.select_plan(
+                    &self.opt,
+                    &q,
+                    &self.db,
+                    &self.cat,
+                    Some(&self.pool),
+                ) {
                     Ok(s) => s,
                     Err(e) => {
                         println!("ERROR: {e}");
-                        continue;
+                        return Flow::Continue;
                     }
                 };
-                match execute(&sel.plan, &q, &db, &mut pool, &opt.params, &rates) {
+                match execute_with(
+                    &sel.plan,
+                    &q,
+                    &self.db,
+                    &mut self.pool,
+                    &self.opt.params,
+                    &self.rates,
+                    &self.exec,
+                ) {
                     Ok(m) => {
                         for row in m.output.iter().take(25) {
                             let cells: Vec<String> =
@@ -161,9 +171,13 @@ fn main() {
                         if m.output.len() > 25 {
                             println!(" ... ({} rows)", m.rows_out);
                         } else {
-                            println!("({} row{})", m.rows_out, if m.rows_out == 1 { "" } else { "s" });
+                            println!(
+                                "({} row{})",
+                                m.rows_out,
+                                if m.rows_out == 1 { "" } else { "s" }
+                            );
                         }
-                        if timing {
+                        if self.timing {
                             println!(
                                 "Time: {:.3} ms simulated ({} physical reads, arm {}: {})",
                                 m.latency.as_ms(),
@@ -172,11 +186,106 @@ fn main() {
                                 sel.hints
                             );
                         }
-                        bao.observe(sel.tree, m.latency.as_ms());
+                        self.selects += 1;
+                        self.simulated_ms += m.latency.as_ms();
+                        self.bao.observe(sel.tree, m.latency.as_ms());
                     }
                     Err(e) => println!("ERROR: {e}"),
                 }
             }
+        }
+        Flow::Continue
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.scale(0.1);
+    let seed = args.seed();
+    let script = args.string("script", "");
+    let shard_workers = args.usize("shard-workers", 1);
+
+    eprintln!("loading IMDb-like database (scale {scale})...");
+    let db = build_imdb_database(scale, seed).expect("build database");
+    let cat = StatsCatalog::analyze(&db, 1_000, seed);
+    let table_names = db.table_names().join(", ");
+    let mut shell = Shell {
+        cat,
+        opt: Optimizer::postgres(),
+        rates: N1_16.charge_rates(),
+        pool: BufferPool::new(N1_16.buffer_pool_pages()),
+        bao: Bao::new(BaoConfig {
+            arms: HintSet::top_arms(6),
+            window_size: 2_000,
+            retrain_interval: 25,
+            cache_features: true,
+            enabled: false, // like the paper: off until SET enable_bao TO on
+            bootstrap: true,
+            parallel_planning: true,
+            planning_threads: 0,
+            shard_workers,
+            seed,
+        }),
+        exec: ExecConfig { shard_workers, ..ExecConfig::default() },
+        timing: true,
+        buffer: String::new(),
+        statements: 0,
+        selects: 0,
+        simulated_ms: 0.0,
+        db,
+    };
+
+    if !script.is_empty() {
+        // Non-interactive: run the script through the same loop, then
+        // record headline baselines like every other figure binary.
+        let text = match std::fs::read_to_string(&script) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read script {script}: {e}");
+                std::process::exit(2);
+            }
+        };
+        for line in text.lines() {
+            if let Flow::Quit = shell.handle_line(line) {
+                break;
+            }
+        }
+        println!(
+            "\nscript done: {} statements, {} selects, {:.3} ms simulated",
+            shell.statements, shell.selects, shell.simulated_ms
+        );
+        let qps = if shell.simulated_ms > 0.0 {
+            shell.selects as f64 / (shell.simulated_ms / 1_000.0)
+        } else {
+            0.0
+        };
+        note_headlines(
+            &[
+                ("baodb_script_qps".to_string(), qps),
+                ("baodb_script_statements".to_string(), shell.statements as f64),
+            ],
+            args.has("update-baseline"),
+        );
+        return;
+    }
+
+    eprintln!(
+        "tables: {table_names}. Bao is OFF (observing only); `SET enable_bao TO on` to activate. \\help for help."
+    );
+    let stdin = std::io::stdin();
+    loop {
+        if shell.buffer.is_empty() {
+            eprint!("baodb=# ");
+        } else {
+            eprint!("baodb-# ");
+        }
+        std::io::stderr().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break; // EOF
+        }
+        if let Flow::Quit = shell.handle_line(&line) {
+            break;
         }
     }
     eprintln!("bye");

@@ -38,6 +38,7 @@ fn main() {
             bootstrap: true,
             parallel_planning: true,
             planning_threads: 0,
+            shard_workers: 1,
             seed,
         },
         settings.model.build(bao_core::Featurizer::new(true).input_dim()),

@@ -12,9 +12,12 @@
 //! overwrites previously recorded values.
 //!
 //! Speedups are gated because they are machine-independent (the batched
-//! path wins on instruction-level parallelism, not clock speed); the
-//! parallel-training speedup depends on core count, so it is recorded
-//! but never gated.
+//! path wins on instruction-level parallelism, not clock speed). The
+//! parallel-training speedup depends on core count, so its gating is
+//! decided at bench time: on hosts with >= 2 cores the thread pool must
+//! actually win (absolute floor + baseline gate); on a single core a
+//! pool cannot beat serial, so the honest sub-1.0 value is recorded
+//! warn-only. `shard_bench` applies the same pattern to `shard_speedup`.
 
 use bao_bench::timing::{BaselineStore, Comparison, Group, Stats};
 use bao_bench::{build_workload, print_header, Args, WorkloadName};
@@ -28,6 +31,9 @@ const TOLERANCE: f64 = 0.20;
 /// Acceptance floor: batched 49-arm scoring must beat the per-tree loop
 /// by at least this factor.
 const MIN_BATCH49_SPEEDUP: f64 = 3.0;
+/// Acceptance floor for multi-thread training on hosts that can show
+/// one: with >= 2 real cores the pool must beat 1 thread by this factor.
+const MIN_THREAD_SPEEDUP: f64 = 1.2;
 
 fn baseline_path() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/bench_baselines.json")
@@ -159,16 +165,27 @@ fn main() {
     // --- Baseline comparison.
     let path = baseline_path();
     let mut store = BaselineStore::load(&path).expect("load baselines");
-    // Gated: machine-independent ratios. Warn-only: thread scaling
-    // (core-count dependent) and absolute throughputs.
-    let gated = [("score_batched_speedup_b49", speedup49)];
-    let warned = [
+    // Gated: machine-independent ratios, plus thread scaling when the
+    // host has enough cores to exhibit it (detected at bench time).
+    // Warn-only: everything core-count dependent on narrow hosts, and
+    // absolute throughputs.
+    let enforce_threads = cores >= 2;
+    let mut gated: Vec<(&str, f64)> = vec![("score_batched_speedup_b49", speedup49)];
+    let mut warned: Vec<(&str, f64)> = vec![
         ("score_batched_speedup_b8", speedup(8)),
         ("train_batched_speedup_1t", train_speedup_batched),
-        ("train_thread_speedup", train_speedup_threads),
         ("train_tree_epochs_per_sec_1t", tree_epochs / t_one.trimmed_mean),
         ("score_batched_plans_per_sec_b49", 49.0 / batched49.trimmed_mean),
     ];
+    if enforce_threads {
+        gated.push(("train_thread_speedup", train_speedup_threads));
+    } else {
+        warned.push(("train_thread_speedup", train_speedup_threads));
+        println!(
+            "host has {cores} core(s) < 2: train_thread_speedup recorded warn-only \
+             (floor {MIN_THREAD_SPEEDUP:.1}x enforced on multi-core hosts)"
+        );
+    }
     println!();
     let mut regression = false;
     for (name, value) in gated.iter().chain(warned.iter()) {
@@ -202,14 +219,27 @@ fn main() {
     store.save().expect("save baselines");
 
     println!();
-    let target_ok = speedup49 >= MIN_BATCH49_SPEEDUP;
+    let batch_ok = speedup49 >= MIN_BATCH49_SPEEDUP;
     println!(
         "49-arm batched speedup {:.2}x (target >= {:.1}x): {}",
         speedup49,
         MIN_BATCH49_SPEEDUP,
-        if target_ok { "PASS" } else { "FAIL" }
+        if batch_ok { "PASS" } else { "FAIL" }
     );
-    if gate && (regression || !target_ok) {
+    let threads_ok = !enforce_threads || train_speedup_threads >= MIN_THREAD_SPEEDUP;
+    println!(
+        "{threads}-thread training speedup {:.2}x (target >= {:.1}x on >= 2-core hosts): {}",
+        train_speedup_threads,
+        MIN_THREAD_SPEEDUP,
+        if !enforce_threads {
+            "SKIPPED (single core)"
+        } else if threads_ok {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+    if gate && (regression || !batch_ok || !threads_ok) {
         eprintln!("bench gate failed");
         std::process::exit(1);
     }

@@ -74,6 +74,7 @@ pub fn bao_settings(n_arms: usize, n_queries: usize) -> BaoSettings {
         cache_features: true,
         bootstrap: true,
         planning_threads: 0,
+        shard_workers: 1,
     }
 }
 

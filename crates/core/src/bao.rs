@@ -40,6 +40,11 @@ pub struct BaoConfig {
     /// bao-race suites, which need a fixed multi-worker pool regardless
     /// of the machine they run on.
     pub planning_threads: usize,
+    /// Shard count and morsel-pool width for sharded query execution
+    /// (DESIGN.md §13); `1` is the serial single-shard path, `0` sizes
+    /// the pool to the host. Execution output is bit-identical at any
+    /// width; only wall-clock changes.
+    pub shard_workers: usize,
     pub seed: u64,
 }
 
@@ -54,6 +59,7 @@ impl Default for BaoConfig {
             bootstrap: true,
             parallel_planning: true,
             planning_threads: 0,
+            shard_workers: 1,
             seed: 0,
         }
     }

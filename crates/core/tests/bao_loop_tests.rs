@@ -59,6 +59,7 @@ fn small_bao(arms: Vec<HintSet>, n: usize, k: usize) -> Bao {
         bootstrap: true,
         parallel_planning: true,
         planning_threads: 0,
+        shard_workers: 1,
         seed: 7,
     };
     let featurizer_dim = bao_core::Featurizer::new(true).input_dim();

@@ -1,15 +1,26 @@
 //! Plan execution: true-cardinality evaluation with per-algorithm cost
 //! charging.
+//!
+//! Scans, hash joins, and aggregations run as fixed-size morsels over
+//! range/hash shards, dispatched to the deterministic work-stealing pool
+//! in [`crate::par`] (DESIGN.md §13). Workers only ever run pure compute
+//! (predicate evaluation, key extraction, probe matching); every
+//! order-sensitive effect — buffer-pool touches, f64 meter charges, the
+//! aggregate fold — happens on the coordinator in pinned row order, so
+//! output bytes and `ExecutionMetrics` are bit-identical at any shard
+//! count.
 
 use crate::charge::{ChargeRates, Meters, PageAccess};
 use crate::eval::{cell_join_key, cell_key, column_of, compile_preds};
 use crate::metrics::ExecutionMetrics;
+use crate::par::{run_jobs, ExecConfig};
 use crate::rowset::RowSet;
 use bao_common::{BaoError, Result};
 use bao_opt::CostParams;
 use bao_plan::{AggFunc, ColRef, JoinPred, Operator, PlanNode, Query, SelectItem};
-use bao_storage::{BufferPool, Database, PageKey, StoredTable, Table, Value};
+use bao_storage::{morsels, BufferPool, Database, PageKey, ShardSpec, StoredTable, Table, Value};
 use std::collections::HashMap;
+use std::ops::Range;
 
 /// Executor errors are ordinary [`BaoError`]s; alias kept for clarity at
 /// call sites.
@@ -24,7 +35,8 @@ const OUTPUT_CAP: usize = 10_000;
 
 /// Execute `plan` for `query` against `db`, charging `pool` traffic and
 /// returning full metrics. The buffer pool carries state across calls, so
-/// consecutive executions see realistic cache warmth.
+/// consecutive executions see realistic cache warmth. Runs on the serial
+/// single-shard path; [`execute_with`] takes a width.
 pub fn execute(
     plan: &PlanNode,
     query: &Query,
@@ -32,6 +44,22 @@ pub fn execute(
     pool: &mut BufferPool,
     params: &CostParams,
     rates: &ChargeRates,
+) -> Result<ExecutionMetrics> {
+    execute_with(plan, query, db, pool, params, rates, &ExecConfig::default())
+}
+
+/// [`execute`] with explicit sharding knobs: `exec.shard_workers` range
+/// shards executed by that many pool workers. The single-shard path is
+/// the same code with the pool optimized out, and sharded output is
+/// bit-identical to it by construction.
+pub fn execute_with(
+    plan: &PlanNode,
+    query: &Query,
+    db: &Database,
+    pool: &mut BufferPool,
+    params: &CostParams,
+    rates: &ChargeRates,
+    exec: &ExecConfig,
 ) -> Result<ExecutionMetrics> {
     // Debug builds (and therefore every test run) re-verify the plan at
     // the execution boundary, catching trees corrupted between planning
@@ -45,6 +73,7 @@ pub fn execute(
         .map(|t| db.by_name(&t.table))
         .collect::<Result<Vec<_>>>()?;
     let tables: Vec<&Table> = stored.iter().map(|s| &s.table).collect();
+    let workers = exec.resolved_workers().max(1);
     let mut ctx = Ctx {
         query,
         stored,
@@ -53,6 +82,9 @@ pub fn execute(
         params,
         meters: Meters::default(),
         node_rows: Vec::with_capacity(plan.node_count()),
+        workers,
+        morsel_rows: exec.morsel_rows.max(1),
+        spec: ShardSpec::new(workers),
     };
     let out = ctx.exec_node(plan)?;
     let (rows_out, output) = ctx.materialize_output(out)?;
@@ -84,6 +116,24 @@ struct Ctx<'a> {
     params: &'a CostParams,
     meters: Meters,
     node_rows: Vec<u64>,
+    /// Morsel-pool width; also the shard count of `spec`.
+    workers: usize,
+    /// Rows per morsel dispatched to the pool.
+    morsel_rows: u32,
+    /// Range/hash shard assignment, pinned for the whole execution.
+    spec: ShardSpec,
+}
+
+/// Fixed-size morsels over `n` items, nested shard-major: each range
+/// shard's span is cut into `morsel_rows` chunks, in shard order. The
+/// concatenation always reproduces `0..n` in order, which is the merge
+/// invariant every sharded operator relies on.
+fn shard_morsels(spec: ShardSpec, n: u32, morsel_rows: u32) -> Vec<Range<u32>> {
+    let mut out = Vec::new();
+    for range in spec.ranges(n) {
+        out.extend(morsels(range, morsel_rows));
+    }
+    out
 }
 
 impl<'a> Ctx<'a> {
@@ -212,11 +262,15 @@ impl<'a> Ctx<'a> {
         // Big scans use PostgreSQL-style ring buffering.
         let bulk = n_pages as usize > self.pool.capacity() / 4;
         let access = if bulk { PageAccess::BulkSequential } else { PageAccess::Sequential };
+        // Page touches stay on the coordinator in ascending page order
+        // (pool recency and meter charges are order-sensitive); each touch
+        // is tagged with the range shard owning the page so the pool's
+        // per-shard split lines up with the morsel partition below.
         for p in 0..n_pages {
             self.meters.touch_page(
                 self.pool,
                 self.params,
-                PageKey::new(st.heap_object, p),
+                PageKey::new(st.heap_object, p).with_shard(self.spec.shard_of(p, n_pages)),
                 access,
             );
         }
@@ -227,9 +281,20 @@ impl<'a> Ctx<'a> {
                 * (self.params.cpu_tuple_cost
                     + compiled.len() as f64 * self.params.cpu_operator_cost),
         );
-        let ids: Vec<u32> = (0..n as u32)
-            .filter(|&r| compiled.iter().all(|p| p.matches_row(r)))
-            .collect();
+        // Predicate evaluation is pure: fan it out as shard-major morsels.
+        // Shard ranges are contiguous and ascending, so stitching morsel
+        // outputs in slot order reproduces the serial ascending scan.
+        let jobs = shard_morsels(self.spec, n as u32, self.morsel_rows);
+        let parts = run_jobs(self.workers, jobs.len(), |j| {
+            Ok(jobs[j]
+                .clone()
+                .filter(|&r| compiled.iter().all(|p| p.matches_row(r)))
+                .collect::<Vec<u32>>())
+        })?;
+        let mut ids = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+        for part in &parts {
+            ids.extend_from_slice(part);
+        }
         Ok(RowSet::from_single(from_idx, ids))
     }
 
@@ -265,12 +330,15 @@ impl<'a> Ctx<'a> {
             return Ok(RowSet::from_single(from_idx, probe.rows));
         }
         let compiled = compile_preds(&st.table, residual)?;
+        let heap_pages = st.table.n_pages();
         let mut ids = Vec::with_capacity(probe.rows.len());
         for r in probe.rows {
+            let page = st.table.page_of_row(r);
             self.meters.touch_page(
                 self.pool,
                 self.params,
-                PageKey::new(st.heap_object, st.table.page_of_row(r)),
+                PageKey::new(st.heap_object, page)
+                    .with_shard(self.spec.shard_of(page, heap_pages)),
                 PageAccess::Random,
             );
             self.meters.charge_cpu(
@@ -361,10 +429,12 @@ impl<'a> Ctx<'a> {
                 .charge_cpu(probe.rows.len() as f64 * self.params.cpu_index_tuple_cost);
             for r in probe.rows {
                 if !index_only {
+                    let page = st.table.page_of_row(r);
                     self.meters.touch_page(
                         self.pool,
                         self.params,
-                        PageKey::new(st.heap_object, st.table.page_of_row(r)),
+                        PageKey::new(st.heap_object, page)
+                            .with_shard(self.spec.shard_of(page, st.table.n_pages())),
                         PageAccess::Random,
                     );
                     self.meters.charge_cpu(
@@ -424,6 +494,14 @@ impl<'a> Ctx<'a> {
 
     /// True equi-join of two row sets (always evaluated as a hash join;
     /// the *charges* for the requested algorithm are applied by callers).
+    ///
+    /// Sharded in three morsel phases, all pure on the workers: build-side
+    /// key extraction over range morsels, a hash-sharded build (shard `s`
+    /// owns keys with `hash_shard(key) == s`, inserted in global right-row
+    /// order so per-key match lists are identical to the serial build),
+    /// and a probe over left range morsels whose raw row buffers are
+    /// stitched in morsel order — reproducing the serial left-in-order,
+    /// right-insertion-order output exactly.
     fn hash_join_rows(&mut self, left: &RowSet, right: &RowSet, pred: &JoinPred) -> Result<RowSet> {
         // Orient the predicate to the operand sides.
         let (lc, rc) = if left.slot_of(pred.left.table).is_some() {
@@ -439,23 +517,52 @@ impl<'a> Ctx<'a> {
             .ok_or_else(|| BaoError::Planning("join key not in right input".into()))?;
         let l_col = column_of(&self.tables, lc)?;
         let r_col = column_of(&self.tables, rc)?;
+        let spec = self.spec;
 
-        let mut table: HashMap<i64, Vec<usize>> = HashMap::with_capacity(right.len());
-        for (i, row) in right.iter().enumerate() {
-            table.entry(cell_join_key(r_col, row[r_slot])?).or_default().push(i);
+        let r_morsels = shard_morsels(spec, right.len() as u32, self.morsel_rows);
+        let key_parts = run_jobs(self.workers, r_morsels.len(), |j| {
+            r_morsels[j]
+                .clone()
+                .map(|i| cell_join_key(r_col, right.row(i as usize)[r_slot]))
+                .collect::<Result<Vec<i64>>>()
+        })?;
+        let mut r_keys: Vec<i64> = Vec::with_capacity(right.len());
+        for part in &key_parts {
+            r_keys.extend_from_slice(part);
         }
+
+        let builds = run_jobs(self.workers, spec.n_shards() as usize, |s| {
+            let mut table: HashMap<i64, Vec<usize>> = HashMap::new();
+            for (i, &key) in r_keys.iter().enumerate() {
+                if spec.hash_shard(key) == s as u32 {
+                    table.entry(key).or_default().push(i);
+                }
+            }
+            Ok(table)
+        })?;
+
+        let l_morsels = shard_morsels(spec, left.len() as u32, self.morsel_rows);
+        let bufs = run_jobs(self.workers, l_morsels.len(), |j| {
+            let mut buf: Vec<u32> = Vec::new();
+            for li in l_morsels[j].clone() {
+                let lrow = left.row(li as usize);
+                let key = cell_join_key(l_col, lrow[l_slot])?;
+                if let Some(matches) = builds[spec.hash_shard(key) as usize].get(&key) {
+                    for &ri in matches {
+                        buf.extend_from_slice(lrow);
+                        buf.extend_from_slice(right.row(ri));
+                    }
+                }
+            }
+            Ok(buf)
+        })?;
         let mut out = RowSet::new(
             left.tables.iter().chain(right.tables.iter()).copied().collect(),
         );
-        for lrow in left.iter() {
-            let key = cell_join_key(l_col, lrow[l_slot])?;
-            if let Some(matches) = table.get(&key) {
-                for &ri in matches {
-                    out.push_joined(lrow, right.row(ri));
-                    if out.len() > ROW_CAP {
-                        return Err(BaoError::Planning("intermediate result too large".into()));
-                    }
-                }
+        for buf in &bufs {
+            out.extend_raw(buf);
+            if out.len() > ROW_CAP {
+                return Err(BaoError::Planning("intermediate result too large".into()));
             }
         }
         Ok(out)
@@ -530,27 +637,62 @@ impl<'a> Ctx<'a> {
             agg_cols.push(col);
         }
 
-        // Group key -> (representative row index, per-agg state).
-        let mut groups: HashMap<Vec<u64>, (usize, Vec<AggState>)> = HashMap::new();
-        for (ri, row) in input.iter().enumerate() {
-            let key: Vec<u64> = group_cols
-                .iter()
-                .map(|(slot, col, _)| cell_key(col, row[*slot]).to_bits())
-                .collect();
-            let entry = groups
-                .entry(key)
-                .or_insert_with(|| (ri, vec![AggState::new(); aggs.len()]));
-            for (st, col) in entry.1.iter_mut().zip(agg_cols.iter()) {
-                match col {
-                    Some((slot, c)) => st.update(cell_key(c, row[*slot])),
-                    None => st.update(1.0),
+        // Phase 1 (morsel-parallel, pure): per-row group-key bits and agg
+        // input values, flattened with fixed strides.
+        let gk = group_cols.len();
+        let na = aggs.len();
+        let jobs = shard_morsels(self.spec, input.len() as u32, self.morsel_rows);
+        let parts = run_jobs(self.workers, jobs.len(), |j| {
+            let rows_in = (jobs[j].end - jobs[j].start) as usize;
+            let mut keys: Vec<u64> = Vec::with_capacity(rows_in * gk);
+            let mut vals: Vec<f64> = Vec::with_capacity(rows_in * na);
+            for ri in jobs[j].clone() {
+                let row = input.row(ri as usize);
+                for (slot, col, _) in &group_cols {
+                    keys.push(cell_key(col, row[*slot]).to_bits());
+                }
+                for col in &agg_cols {
+                    match col {
+                        Some((slot, c)) => vals.push(cell_key(c, row[*slot])),
+                        None => vals.push(1.0),
+                    }
                 }
             }
+            Ok((keys, vals))
+        })?;
+
+        // Phase 2 (coordinator, pinned order): fold the extracted rows in
+        // global row order — the f64 accumulation sequence is exactly the
+        // serial one, so sums are bit-identical at any shard count.
+        // Groups are kept in first-seen order, which also makes emission
+        // order deterministic (the former HashMap-iteration emission was
+        // per-process random).
+        let mut index: HashMap<Vec<u64>, usize> = HashMap::new();
+        // (representative row index, per-agg state), first-seen order.
+        let mut groups: Vec<(usize, Vec<AggState>)> = Vec::new();
+        let mut base = 0usize;
+        for (j, (keys, vals)) in parts.iter().enumerate() {
+            let rows_in = (jobs[j].end - jobs[j].start) as usize;
+            for i in 0..rows_in {
+                let key = keys[i * gk..(i + 1) * gk].to_vec();
+                let gi = match index.get(&key) {
+                    Some(&gi) => gi,
+                    None => {
+                        index.insert(key, groups.len());
+                        groups.push((base + i, vec![AggState::new(); na]));
+                        groups.len() - 1
+                    }
+                };
+                for (a, st) in groups[gi].1.iter_mut().enumerate() {
+                    st.update(vals[i * na + a]);
+                }
+            }
+            base += rows_in;
         }
         // Empty input with no GROUP BY still yields one all-empty row
         // (COUNT(*) = 0), like SQL.
         if groups.is_empty() && group_by.is_empty() {
-            groups.insert(Vec::new(), (usize::MAX, vec![AggState::new(); aggs.len()]));
+            groups.push((usize::MAX, vec![AggState::new(); na]));
         }
 
         // Emit rows in SELECT-list order (columns and aggregates may
@@ -565,7 +707,7 @@ impl<'a> Ctx<'a> {
             }
         };
         let mut out = Vec::with_capacity(groups.len());
-        for (_, (rep, states)) in groups {
+        for (rep, states) in groups {
             let mut row = Vec::with_capacity(self.query.select.len());
             let mut next_agg = 0usize;
             for item in &self.query.select {

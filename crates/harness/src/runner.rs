@@ -4,7 +4,7 @@ use bao_cloud::{gpu_train_time, CostReport, VmType};
 use bao_common::json::{self, FromJson, Json, ToJson};
 use bao_common::{split_seed, BaoError, Result, SimDuration};
 use bao_core::{Bao, BaoConfig};
-use bao_exec::{execute, PerfMetric};
+use bao_exec::{execute_with, ExecConfig, PerfMetric};
 use bao_models::{LinearModel, RandomForestModel, TcnnModel, ValueModel};
 use bao_nn::{TcnnConfig, TrainConfig};
 use bao_opt::{HintSet, Optimizer, OptimizerProfile};
@@ -76,6 +76,10 @@ pub struct BaoSettings {
     /// Planner pool size (`0` = size to the host). The bao-race suites
     /// pin this so the fan-out pool is multi-worker on any machine.
     pub planning_threads: usize,
+    /// Shard count / morsel-pool width for query execution (`1` = serial
+    /// single-shard path, `0` = size to the host). Output is
+    /// bit-identical at any width (DESIGN.md §13).
+    pub shard_workers: usize,
 }
 
 impl Default for BaoSettings {
@@ -88,6 +92,7 @@ impl Default for BaoSettings {
             cache_features: true,
             bootstrap: true,
             planning_threads: 0,
+            shard_workers: 1,
         }
     }
 }
@@ -289,6 +294,9 @@ pub struct Runner {
     pub(crate) pool: BufferPool,
     pub(crate) opt: Optimizer,
     pub(crate) bao: Option<Bao>,
+    /// Sharded-execution knobs, derived from the strategy's
+    /// `shard_workers` (serial for non-Bao strategies).
+    pub(crate) exec: ExecConfig,
 }
 
 impl Runner {
@@ -299,6 +307,12 @@ impl Runner {
             OptimizerProfile::ComSysLike => Optimizer::comsys(),
         };
         let pool = BufferPool::new(cfg.vm.buffer_pool_pages());
+        let exec = match &cfg.strategy {
+            Strategy::Bao(settings) => {
+                ExecConfig { shard_workers: settings.shard_workers, ..ExecConfig::default() }
+            }
+            _ => ExecConfig::default(),
+        };
         let bao = match &cfg.strategy {
             Strategy::Bao(settings) => {
                 let bao_cfg = BaoConfig {
@@ -310,6 +324,7 @@ impl Runner {
                     bootstrap: settings.bootstrap,
                     parallel_planning: true,
                     planning_threads: settings.planning_threads,
+                    shard_workers: settings.shard_workers,
                     seed: split_seed(cfg.seed, 2),
                 };
                 let dim = bao_core::Featurizer::new(settings.cache_features).input_dim();
@@ -317,7 +332,7 @@ impl Runner {
             }
             _ => None,
         };
-        Runner { cfg, db, cat, pool, opt, bao }
+        Runner { cfg, db, cat, pool, opt, bao, exec }
     }
 
     /// Override the buffer pool size (Figure 13's in-memory regime).
@@ -400,13 +415,14 @@ impl Runner {
                     let mut perfs = Vec::with_capacity(plans.len());
                     for plan in &plans {
                         let mut snapshot = self.pool.clone();
-                        let m = execute(
+                        let m = execute_with(
                             plan,
                             q,
                             &self.db,
                             &mut snapshot,
                             &self.opt.params,
                             &self.cfg.vm.charge_rates(),
+                            &self.exec,
                         )?;
                         perfs.push(m.perf(self.cfg.metric));
                     }
@@ -416,13 +432,14 @@ impl Runner {
             };
 
             let opt_time = self.cfg.vm.optimization_time(&per_arm_work, self.cfg.sequential_arms);
-            let metrics = execute(
+            let metrics = execute_with(
                 &plan,
                 q,
                 &self.db,
                 &mut self.pool,
                 &self.opt.params,
                 &self.cfg.vm.charge_rates(),
+                &self.exec,
             )?;
             let perf = metrics.perf(self.cfg.metric);
 

@@ -17,7 +17,7 @@ use bao_cache::{CacheStats, CachedChoice, DriftOutcome, PlanCache, PlanCacheConf
 use bao_cloud::gpu_train_time;
 use bao_common::{BaoError, Result, SimDuration};
 use bao_core::Selection;
-use bao_exec::execute;
+use bao_exec::execute_with;
 use bao_plan::{fingerprint, QueryFingerprint};
 use bao_sched::{QueryArrival, SchedConfig, SchedReport, Scheduler};
 use bao_storage::Database;
@@ -477,13 +477,14 @@ fn run_bao_serving(
                 }
                 let opt_time =
                     inner.cfg.vm.optimization_time(&sel.per_arm_work, inner.cfg.sequential_arms);
-                let mut metrics = execute(
+                let mut metrics = execute_with(
                     &sel.plan,
                     &step.query,
                     &inner.db,
                     &mut inner.pool,
                     &inner.opt.params,
                     &inner.cfg.vm.charge_rates(),
+                    &inner.exec,
                 )?;
                 if let Some(f) = serving.fault {
                     if d.idx >= f.from_step {

@@ -41,6 +41,12 @@
 //!   shim so the deterministic interleaving explorer (DESIGN.md §12) can
 //!   see it. A raw primitive is invisible to the race checker — exactly
 //!   the kind of hole that lets an unexplored interleaving ship.
+//! * `no-unpinned-pool-width` — a worker-pool spawn (`.spawn(`) inside a
+//!   `for` loop with an integer-literal range bound hard-codes the pool's
+//!   width; every pool in the workspace (`bao_core::plan_jobs`,
+//!   `bao_nn::train`, `bao_exec::run_jobs`) must take its width from
+//!   config (`planning_threads` / `TrainConfig::threads` /
+//!   `shard_workers`) so deployments and the race explorer control it.
 //! * `hermetic-manifest` — every manifest dependency must be a local
 //!   `path` crate (see [`crate::manifest`]).
 //!
@@ -63,11 +69,12 @@ pub enum RuleId {
     NoFloatEq,
     NoPrintln,
     NoRawSync,
+    NoUnpinnedPoolWidth,
     HermeticManifest,
 }
 
 impl RuleId {
-    pub const ALL: [RuleId; 10] = [
+    pub const ALL: [RuleId; 11] = [
         RuleId::NoWallClock,
         RuleId::NoHashIterOrder,
         RuleId::NoUnsafe,
@@ -77,6 +84,7 @@ impl RuleId {
         RuleId::NoFloatEq,
         RuleId::NoPrintln,
         RuleId::NoRawSync,
+        RuleId::NoUnpinnedPoolWidth,
         RuleId::HermeticManifest,
     ];
 
@@ -91,6 +99,7 @@ impl RuleId {
             RuleId::NoFloatEq => "no-float-eq",
             RuleId::NoPrintln => "no-println",
             RuleId::NoRawSync => "no-raw-sync",
+            RuleId::NoUnpinnedPoolWidth => "no-unpinned-pool-width",
             RuleId::HermeticManifest => "hermetic-manifest",
         }
     }
@@ -126,6 +135,9 @@ impl RuleId {
             }
             RuleId::NoRawSync => {
                 "std::sync Mutex/mpsc/Condvar/RwLock outside bao_common::sync"
+            }
+            RuleId::NoUnpinnedPoolWidth => {
+                ".spawn( inside a literal-bound for loop (width must come from config)"
             }
             RuleId::HermeticManifest => "non-path dependency in a Cargo.toml",
         }
@@ -188,6 +200,12 @@ pub fn applies_to(rule: RuleId, path: &str) -> bool {
         RuleId::NoRawSync => {
             path != RAW_SYNC_ALLOWED_FILE && !path.starts_with(RAW_SYNC_ALLOWED_CRATE)
         }
+        // Pool widths come from config everywhere except the shim (which
+        // wraps the raw spawn) and the race checker (which pins its own
+        // two exploration threads by design).
+        RuleId::NoUnpinnedPoolWidth => {
+            path != RAW_SYNC_ALLOWED_FILE && !path.starts_with(RAW_SYNC_ALLOWED_CRATE)
+        }
         RuleId::HermeticManifest => false, // manifest rule, not a source rule
     }
 }
@@ -201,12 +219,18 @@ fn skips_test_code(rule: RuleId) -> bool {
             | RuleId::NoPerNodeAlloc
             | RuleId::NoFloatEq
             | RuleId::NoPrintln
+            | RuleId::NoUnpinnedPoolWidth
     )
 }
 
 /// Does `rule` only fire on lines inside a `for` loop body?
 fn only_in_loops(rule: RuleId) -> bool {
     matches!(rule, RuleId::NoPerNodeAlloc)
+}
+
+/// Does `rule` only fire inside `for` loops with a literal range bound?
+fn only_in_literal_loops(rule: RuleId) -> bool {
+    matches!(rule, RuleId::NoUnpinnedPoolWidth)
 }
 
 /// Is the whole file test code (an integration-test target or a bench
@@ -252,6 +276,7 @@ fn patterns(rule: RuleId) -> &'static [Pattern] {
             Pattern { needle: "println!", word: true },
             Pattern { needle: "eprintln!", word: true },
         ],
+        RuleId::NoUnpinnedPoolWidth => &[Pattern { needle: ".spawn(", word: false }],
         RuleId::HermeticManifest => &[],
     }
 }
@@ -459,12 +484,16 @@ pub fn check_masked(
             continue;
         }
         let loops_only = only_in_loops(rule);
+        let literal_loops_only = only_in_literal_loops(rule);
         for (idx, line) in masked.lines.iter().enumerate() {
             let line_no = idx + 1;
             if skip_tests && masked.is_test_line(line_no) {
                 continue;
             }
             if loops_only && !masked.is_loop_line(line_no) {
+                continue;
+            }
+            if literal_loops_only && !masked.is_literal_loop_line(line_no) {
                 continue;
             }
             if rule == RuleId::NoFloatEq {
@@ -607,6 +636,46 @@ mod tests {
             &[RuleId::NoPerNodeAlloc],
         );
         assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unpinned_pool_width_flags_literal_loop_spawns() {
+        // A pool hard-coded to 4 workers: the exact bug the rule hunts.
+        let bad = "fn pool() {\n\
+                   for _ in 0..4 {\n\
+                       scope.spawn(move || work());\n\
+                   }\n\
+                   }\n";
+        let d = check_source("crates/executor/src/par.rs", bad, &[RuleId::NoUnpinnedPoolWidth]);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 3);
+
+        // Width from config: clean.
+        let good = "fn pool(workers: usize) {\n\
+                    for _ in 0..workers {\n\
+                        scope.spawn(move || work());\n\
+                    }\n\
+                    }\n";
+        let d = check_source("crates/executor/src/par.rs", good, &[RuleId::NoUnpinnedPoolWidth]);
+        assert!(d.is_empty(), "{d:?}");
+
+        // A spawn outside any loop (single helper thread): clean.
+        let single = "fn one() { let h = scope.spawn(f); h.join(); }\n";
+        let d =
+            check_source("crates/nn/src/train.rs", single, &[RuleId::NoUnpinnedPoolWidth]);
+        assert!(d.is_empty(), "{d:?}");
+
+        // Test code and the race checker are exempt.
+        let in_test = "#[cfg(test)]\n\
+                       mod tests {\n\
+                       fn t() { for _ in 0..2 { s.spawn(f); } }\n\
+                       }\n";
+        let d =
+            check_source("crates/core/src/bao.rs", in_test, &[RuleId::NoUnpinnedPoolWidth]);
+        assert!(d.is_empty(), "{d:?}");
+        assert!(!applies_to(RuleId::NoUnpinnedPoolWidth, "crates/race/tests/fixtures.rs"));
+        assert!(!applies_to(RuleId::NoUnpinnedPoolWidth, "crates/common/src/sync.rs"));
+        assert!(applies_to(RuleId::NoUnpinnedPoolWidth, "crates/executor/src/par.rs"));
     }
 
     #[test]

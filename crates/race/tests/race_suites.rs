@@ -1,4 +1,4 @@
-//! The three production race suites from DESIGN.md §12: every concurrent
+//! The four production race suites from DESIGN.md §12: every concurrent
 //! path in the workspace, explored exhaustively (bounded preemption) under
 //! the instrumented `bao_common::sync` shim.
 //!
@@ -9,10 +9,17 @@
 //! 3. `sched_serving_handoff` — the full sched → serving wave loop,
 //!    including a mid-run retrain so post-retrain waves exercise the
 //!    scoring fan-out against the new model.
+//! 4. `morsel_pool` — the executor's morsel work-stealing pool
+//!    (`bao_exec::run_jobs`, DESIGN.md §13): 2 workers × 4 morsel jobs.
 //!
 //! Each suite asserts zero races / zero lock-order cycles / byte-identical
 //! output across ≥ 200 distinct interleavings, then records the explored
 //! count into `results/race_report.json`.
+//!
+//! Smoke runs bound each suite's interleaving cap so the whole pass stays
+//! within ~60s; `BAO_RACE_UNBOUNDED=1` (the `scripts/check.sh
+//! --race-nightly` stage) lifts every cap so the bounded-preemption space
+//! is explored to completion.
 #![cfg(bao_race)]
 
 use bao_common::json::ToJson;
@@ -29,6 +36,16 @@ use bao_sched::{QueryArrival, SchedConfig, TenantSpec, WavePolicy};
 use bao_sql::parse_query;
 use bao_stats::StatsCatalog;
 use bao_storage::{ColumnDef, Database, DataType, Schema, Table, Value};
+
+/// Interleaving cap for one suite: the smoke default, or effectively
+/// unlimited (explore the bounded-preemption space to completion) when
+/// `BAO_RACE_UNBOUNDED` is set — the nightly mode.
+fn cap(smoke_default: usize) -> usize {
+    match std::env::var("BAO_RACE_UNBOUNDED") {
+        Ok(v) if !v.is_empty() && v != "0" => usize::MAX,
+        _ => smoke_default,
+    }
+}
 
 /// Deterministic little synthetic training set: 3-node trees whose target
 /// is a function of the features. 12 trees / batch 4 / shard 2 ⇒ exactly
@@ -60,7 +77,7 @@ fn training_pool_suite() {
         seed: 11,
         ..TrainConfig::default()
     };
-    let n = Explorer::new("training_pool", 600, 2)
+    let n = Explorer::new("training_pool", cap(600), 2)
         .check(|| {
             let mut net = TreeCnn::new(TcnnConfig::tiny(3), 17);
             let report = train(&mut net, &trees, &ys, &cfg);
@@ -128,7 +145,7 @@ fn planning_fanout_suite() {
         parse_query("SELECT COUNT(*) FROM title t WHERE t.year >= 1999").unwrap(),
     ];
     let opt = Optimizer::postgres();
-    let n = Explorer::new("planning_fanout", 600, 2)
+    let n = Explorer::new("planning_fanout", cap(600), 2)
         .check(|| {
             let bao = Bao::new(BaoConfig {
                 arms: HintSet::top_arms(2),
@@ -191,7 +208,7 @@ fn sched_serving_handoff_suite() {
     let arrivals: Vec<QueryArrival> = (0..6)
         .map(|i| QueryArrival { idx: i, tenant: i % 2, arrival: SimDuration::ZERO })
         .collect();
-    let n = Explorer::new("sched_serving_handoff", 220, 2)
+    let n = Explorer::new("sched_serving_handoff", cap(220), 2)
         .check(|| {
             let cfg = RunConfig {
                 seed: 7,
@@ -213,4 +230,38 @@ fn sched_serving_handoff_suite() {
         .expect_clean();
     assert!(n >= 200, "sched/serving handoff explored only {n} interleavings");
     record_suite("sched_serving_handoff", n);
+}
+
+/// Suite 4: the executor's morsel pool (DESIGN.md §13). Two workers pull
+/// four morsel jobs off the shared job channel — the exact shape a
+/// 2-shard scan splits into at small morsel size. The jobs are pure
+/// compute over immutable shared input (like real morsel jobs: predicate
+/// evaluation over a row range); the fingerprint is the slot-ordered
+/// concatenation of every job's output, so any re-slotting or lost-job
+/// bug changes the bytes.
+#[test]
+fn morsel_pool_suite() {
+    // Immutable shared input: a little "column" the jobs filter.
+    let col: Vec<i64> = (0..64).map(|i| (i * 37) % 101).collect();
+    let ranges = [(0u32, 16u32), (16, 32), (32, 48), (48, 64)];
+    let n = Explorer::new("morsel_pool", cap(600), 2)
+        .check(|| {
+            let parts = bao_exec::run_jobs(2, ranges.len(), |j| {
+                let (lo, hi) = ranges[j];
+                Ok((lo..hi).filter(|&r| col[r as usize] >= 50).collect::<Vec<u32>>())
+            })
+            .unwrap();
+            let mut bytes = Vec::new();
+            for (slot, rows) in parts.iter().enumerate() {
+                bytes.push(slot as u8);
+                bytes.push(rows.len() as u8);
+                for r in rows {
+                    bytes.extend_from_slice(&r.to_le_bytes());
+                }
+            }
+            bytes
+        })
+        .expect_clean();
+    assert!(n >= 200, "morsel pool explored only {n} interleavings");
+    record_suite("morsel_pool", n);
 }

@@ -10,15 +10,55 @@ use std::collections::{BTreeMap, HashMap};
 
 /// Identifies a page: the owning object (table heap or index) and the page
 /// number within it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+///
+/// The `shard` field is an accounting annotation, not part of the page's
+/// identity: sharded execution tags each touch with the shard that issued
+/// it so the pool can report per-shard hit/miss splits, but a page cached
+/// by one shard must hit when any other shard (or an unsharded caller)
+/// touches it. Equality, hashing, and ordering therefore cover only
+/// `(object, page)`.
+#[derive(Debug, Clone, Copy)]
 pub struct PageKey {
     pub object: u32,
     pub page: u32,
+    pub shard: u32,
+}
+
+impl PartialEq for PageKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.object == other.object && self.page == other.page
+    }
+}
+
+impl Eq for PageKey {}
+
+impl std::hash::Hash for PageKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.object.hash(state);
+        self.page.hash(state);
+    }
+}
+
+impl PartialOrd for PageKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for PageKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.object, self.page).cmp(&(other.object, other.page))
+    }
 }
 
 impl PageKey {
     pub fn new(object: u32, page: u32) -> Self {
-        PageKey { object, page }
+        PageKey { object, page, shard: 0 }
+    }
+
+    /// The same page, annotated with the shard that is touching it.
+    pub fn with_shard(self, shard: u32) -> Self {
+        PageKey { shard, ..self }
     }
 }
 
@@ -67,6 +107,10 @@ pub struct BufferPool {
     per_object: HashMap<u32, u32>,
     clock: u64,
     stats: PoolStats,
+    /// shard annotation -> hit/miss counters for touches tagged with it.
+    /// Unsharded touches land on shard 0. BTreeMap so reporting iterates
+    /// in shard order.
+    shard_stats: BTreeMap<u32, PoolStats>,
 }
 
 impl BufferPool {
@@ -80,6 +124,7 @@ impl BufferPool {
             per_object: HashMap::new(),
             clock: 0,
             stats: PoolStats::default(),
+            shard_stats: BTreeMap::new(),
         }
     }
 
@@ -99,8 +144,16 @@ impl BufferPool {
         self.stats
     }
 
+    /// Per-shard hit/miss counters, keyed by the shard annotation on the
+    /// touching `PageKey`. Summing every entry reproduces `stats()`
+    /// exactly; an unsharded workload accumulates everything on shard 0.
+    pub fn shard_stats(&self) -> &BTreeMap<u32, PoolStats> {
+        &self.shard_stats
+    }
+
     pub fn reset_stats(&mut self) {
         self.stats = PoolStats::default();
+        self.shard_stats.clear();
     }
 
     /// Touch a page; returns `true` on a cache hit.
@@ -115,11 +168,14 @@ impl BufferPool {
         } else {
             false
         };
+        let per_shard = self.shard_stats.entry(key.shard).or_default();
         if hit {
             self.stats.hits += 1;
+            per_shard.hits += 1;
             return true;
         }
         self.stats.misses += 1;
+        per_shard.misses += 1;
         if kind == AccessKind::Cached && self.capacity > 0 {
             self.insert(key);
         }
@@ -255,6 +311,80 @@ mod tests {
         p.clear();
         assert!(p.is_empty());
         assert_eq!(p.cached_fraction(3, 4), 0.0);
+    }
+
+    #[test]
+    fn shard_annotation_is_not_identity() {
+        let mut p = BufferPool::new(4);
+        let k = PageKey::new(1, 0);
+        assert!(!p.access(k.with_shard(2), AccessKind::Cached));
+        // The same page touched from another shard (or unsharded) hits.
+        assert!(p.access(k.with_shard(5), AccessKind::Cached));
+        assert!(p.access(k, AccessKind::Cached));
+        assert!(p.contains(k.with_shard(9)));
+        assert_eq!(k, k.with_shard(3));
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let digest = |key: PageKey| {
+            let mut h = DefaultHasher::new();
+            key.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(digest(k), digest(k.with_shard(3)));
+        assert_eq!(k.cmp(&k.with_shard(3)), std::cmp::Ordering::Equal);
+    }
+
+    /// Replay a fixed access trace annotated with `n_shards` round-robin
+    /// shard tags; returns (per-shard stats, resident set in key order).
+    fn sharded_trace(n_shards: u32) -> (Vec<PoolStats>, Vec<PageKey>, PoolStats) {
+        let mut p = BufferPool::new(3);
+        let trace: Vec<PageKey> = (0..40u32).map(|i| PageKey::new(1 + i % 2, i % 5)).collect();
+        for (i, k) in trace.iter().enumerate() {
+            p.access(k.with_shard(i as u32 % n_shards), AccessKind::Cached);
+        }
+        let per_shard: Vec<PoolStats> =
+            (0..n_shards).map(|s| p.shard_stats().get(&s).copied().unwrap_or_default()).collect();
+        let mut resident: Vec<PageKey> =
+            trace.iter().copied().filter(|&k| p.contains(k)).collect();
+        resident.sort();
+        resident.dedup();
+        (per_shard, resident, p.stats())
+    }
+
+    #[test]
+    fn per_shard_stats_sum_to_unsharded_totals() {
+        let (_, _, unsharded) = sharded_trace(1);
+        for shards in [2, 4, 8] {
+            let (per_shard, _, total) = sharded_trace(shards);
+            let summed = per_shard.iter().fold(PoolStats::default(), |acc, s| PoolStats {
+                hits: acc.hits + s.hits,
+                misses: acc.misses + s.misses,
+            });
+            assert_eq!(summed, total, "shard split must partition the totals");
+            assert_eq!(total, unsharded, "shard count must not change totals");
+        }
+    }
+
+    #[test]
+    fn eviction_deterministic_across_shard_counts() {
+        let (_, resident1, _) = sharded_trace(1);
+        for shards in [2, 4, 8] {
+            let (_, resident, _) = sharded_trace(shards);
+            assert_eq!(
+                resident, resident1,
+                "resident set (hence eviction order) must not depend on shard count"
+            );
+        }
+    }
+
+    #[test]
+    fn reset_stats_clears_shard_split() {
+        let mut p = BufferPool::new(4);
+        p.access(PageKey::new(1, 0).with_shard(3), AccessKind::Cached);
+        assert_eq!(p.shard_stats().len(), 1);
+        p.reset_stats();
+        assert!(p.shard_stats().is_empty());
+        assert_eq!(p.stats(), PoolStats::default());
     }
 
     #[test]

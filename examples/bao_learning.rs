@@ -33,6 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         bootstrap: true,
         parallel_planning: true,
         planning_threads: 0,
+        shard_workers: 1,
         seed: 7,
     });
     let mut pool = BufferPool::new(N1_16.buffer_pool_pages());

@@ -1,0 +1,23 @@
+-- Demo script for `baodb --script` (non-interactive mode): warms the
+-- bandit on multi-join IMDb templates and records headline baselines
+-- (baodb_script_qps, baodb_script_statements). Run via:
+--   cargo run --release -p bao-bench --bin baodb -- --script scripts/baodb_demo.sql
+\tables
+SET enable_bao TO on;
+SELECT COUNT(*) FROM title t WHERE t.production_year > 1990;
+SELECT COUNT(*) FROM title t, cast_info ci WHERE t.id = ci.movie_id;
+SELECT COUNT(*) FROM title t, cast_info ci, person p
+  WHERE t.id = ci.movie_id AND p.id = ci.person_id
+  AND t.production_year > 1985;
+SELECT COUNT(*) FROM title t, movie_companies mc
+  WHERE t.id = mc.movie_id AND t.kind_id < 4;
+SELECT COUNT(*) FROM title t, cast_info ci, movie_keyword mk
+  WHERE t.id = ci.movie_id AND t.id = mk.movie_id;
+EXPLAIN SELECT COUNT(*) FROM title t, cast_info ci WHERE t.id = ci.movie_id;
+SELECT COUNT(*) FROM title t, movie_info mi, movie_companies mc
+  WHERE t.id = mi.movie_id AND t.id = mc.movie_id
+  AND t.production_year > 1980;
+SELECT COUNT(*) FROM title t, cast_info ci, person p, movie_keyword mk
+  WHERE t.id = ci.movie_id AND p.id = ci.person_id AND t.id = mk.movie_id;
+\bao
+\q

@@ -5,16 +5,22 @@
 #   2. check_hermetic  — static manifest scan (via bao-lint)
 #   3. build + test    — tier-1: cargo build --release && cargo test -q
 #   4. bench smoke     — opt-in via --bench-smoke: inference_bench,
-#                        serving_bench, sched_bench, and cache_bench,
-#                        each --quick --gate, failing on a gated
-#                        regression against results/bench_baselines.json
-#                        (DESIGN.md §8, §9, §10, §11)
+#                        serving_bench, sched_bench, cache_bench, and
+#                        shard_bench, each --quick --gate, failing on a
+#                        gated regression against
+#                        results/bench_baselines.json
+#                        (DESIGN.md §8, §9, §10, §11, §13)
 #   5. race smoke      — opt-in via --race-smoke: the bao-race suites
-#                        (detection fixtures + the three production
+#                        (detection fixtures + the four production
 #                        suites) under --cfg bao_race, bounded so the
 #                        whole pass stays within ~60s (DESIGN.md §12).
 #                        Interleaving counts land in
 #                        results/race_report.json
+#   6. race nightly    — opt-in via --race-nightly: the four production
+#                        suites with BAO_RACE_UNBOUNDED=1, exploring the
+#                        bounded-preemption interleaving space to
+#                        completion (minutes, not seconds); final counts
+#                        land in results/race_report.json
 #
 # Run from anywhere; operates on the repo containing this script.
 set -euo pipefail
@@ -24,10 +30,12 @@ cd "$repo"
 
 bench_smoke=0
 race_smoke=0
+race_nightly=0
 for arg in "$@"; do
     case "$arg" in
         --bench-smoke) bench_smoke=1 ;;
         --race-smoke) race_smoke=1 ;;
+        --race-nightly) race_nightly=1 ;;
         *) echo "unknown flag: $arg" >&2; exit 2 ;;
     esac
 done
@@ -60,6 +68,9 @@ if [ "$bench_smoke" = 1 ]; then
     echo
     echo "== bench smoke (cache_bench --quick --gate) =="
     cargo run -q --release -p bao-bench --bin cache_bench -- --quick --gate
+    echo
+    echo "== bench smoke (shard_bench --quick --gate) =="
+    cargo run -q --release -p bao-bench --bin shard_bench -- --quick --gate
 fi
 
 if [ "$race_smoke" = 1 ]; then
@@ -69,6 +80,13 @@ if [ "$race_smoke" = 1 ]; then
     # the normal incremental caches (the cfg changes every crate).
     RUSTFLAGS="--cfg bao_race" CARGO_TARGET_DIR=target/race \
         cargo test -q -p bao-race
+fi
+
+if [ "$race_nightly" = 1 ]; then
+    echo
+    echo "== race nightly (unbounded exploration of the production suites) =="
+    BAO_RACE_UNBOUNDED=1 RUSTFLAGS="--cfg bao_race" CARGO_TARGET_DIR=target/race \
+        cargo test -q -p bao-race --test race_suites
 fi
 
 echo
