@@ -55,6 +55,7 @@ fn main() {
                 planning_threads: 0,
                 shard_workers: 1,
                 seed,
+                durability: None,
             },
             settings.model.build(bao_core::Featurizer::new(false).input_dim()),
         );

@@ -189,6 +189,11 @@ impl Shell {
                         self.selects += 1;
                         self.simulated_ms += m.latency.as_ms();
                         self.bao.observe(sel.tree, m.latency.as_ms());
+                        // One commit per statement: the interactive shell
+                        // has no wave to batch across.
+                        if let Err(e) = self.bao.wal_commit() {
+                            println!("WARNING: wal commit failed: {e}");
+                        }
                     }
                     Err(e) => println!("ERROR: {e}"),
                 }
@@ -204,6 +209,10 @@ fn main() {
     let seed = args.seed();
     let script = args.string("script", "");
     let shard_workers = args.usize("shard-workers", 1);
+    // --wal-dir <path>: log experience appends, retrain checkpoints, and
+    // model versions to a write-ahead log in <path> (DESIGN.md §14). The
+    // directory must not already hold a log.
+    let wal_dir = args.string("wal-dir", "");
 
     eprintln!("loading IMDb-like database (scale {scale})...");
     let db = build_imdb_database(scale, seed).expect("build database");
@@ -225,6 +234,11 @@ fn main() {
             planning_threads: 0,
             shard_workers,
             seed,
+            durability: if wal_dir.is_empty() {
+                None
+            } else {
+                Some(bao_wal::DurabilityConfig::new(wal_dir.as_str()))
+            },
         }),
         exec: ExecConfig { shard_workers, ..ExecConfig::default() },
         timing: true,
@@ -234,6 +248,17 @@ fn main() {
         simulated_ms: 0.0,
         db,
     };
+    match shell.bao.open_wal() {
+        Ok(opened) => {
+            if opened {
+                eprintln!("wal: logging to {wal_dir}");
+            }
+        }
+        Err(e) => {
+            eprintln!("cannot open wal in {wal_dir}: {e}");
+            std::process::exit(2);
+        }
+    }
 
     if !script.is_empty() {
         // Non-interactive: run the script through the same loop, then

@@ -50,6 +50,7 @@ fn main() {
             planning_threads: 0,
             shard_workers: 1,
             seed,
+            durability: None,
         },
         settings.model.build(bao_core::Featurizer::new(true).input_dim()),
     );

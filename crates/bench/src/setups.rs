@@ -75,6 +75,7 @@ pub fn bao_settings(n_arms: usize, n_queries: usize) -> BaoSettings {
         bootstrap: true,
         planning_threads: 0,
         shard_workers: 1,
+        durability: None,
     }
 }
 

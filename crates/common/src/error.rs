@@ -27,6 +27,8 @@ pub enum BaoError {
     Config(String),
     /// Arithmetic or shape error inside the neural-network substrate.
     Shape(String),
+    /// Filesystem I/O failure in the durability layer (WAL segments).
+    Io(String),
 }
 
 impl fmt::Display for BaoError {
@@ -41,6 +43,7 @@ impl fmt::Display for BaoError {
             BaoError::ModelNotFitted => write!(f, "value model has not been fitted"),
             BaoError::Config(s) => write!(f, "configuration error: {s}"),
             BaoError::Shape(s) => write!(f, "shape error: {s}"),
+            BaoError::Io(s) => write!(f, "io error: {s}"),
         }
     }
 }

@@ -450,6 +450,21 @@ fn expect_num<T>(j: &Json, what: &str, v: Option<T>) -> Result<T> {
     v.ok_or_else(|| BaoError::Parse(format!("expected JSON {what}, got {j:?}")))
 }
 
+// Identity impls so a field can carry an opaque, already-structured
+// value (e.g. a WAL `QueryOutcome` embedding a harness record whose
+// schema this layer does not know).
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl FromJson for Json {
+    fn from_json(j: &Json) -> Result<Json> {
+        Ok(j.clone())
+    }
+}
+
 impl ToJson for bool {
     fn to_json(&self) -> Json {
         Json::Bool(*self)

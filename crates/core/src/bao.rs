@@ -11,7 +11,13 @@ use bao_plan::{PlanNode, Query};
 use bao_stats::StatsCatalog;
 use bao_storage::{BufferPool, Database};
 use bao_common::sync::{mpsc, scope, Arc, Mutex};
+use bao_wal::{fnv64, DurabilityConfig, Wal, WalRecord};
 use std::time::Duration;
+
+/// Shared handle to an open write-ahead log. Uses the workspace sync
+/// shim (like every other lock in the query path) so the race suites
+/// can instrument it.
+pub type WalHandle = Arc<Mutex<Wal>>;
 
 /// Bao configuration (paper §6.1 defaults: 48/49 arms, window k = 2000,
 /// retrain every n = 100 queries, cache features on).
@@ -46,6 +52,10 @@ pub struct BaoConfig {
     /// width; only wall-clock changes.
     pub shard_workers: usize,
     pub seed: u64,
+    /// Write-ahead logging of experience appends, retrain boundaries,
+    /// and model checkpoints (DESIGN.md §14). `None` (the default) keeps
+    /// the historical in-memory behaviour.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for BaoConfig {
@@ -61,6 +71,7 @@ impl Default for BaoConfig {
             planning_threads: 0,
             shard_workers: 1,
             seed: 0,
+            durability: None,
         }
     }
 }
@@ -119,6 +130,12 @@ pub struct Bao {
     critical: Vec<CriticalGroup>,
     /// Cumulative wall-clock time spent training (Figure 15c).
     pub total_train_wall: Duration,
+    /// Attached write-ahead log; appends are buffered here and flushed
+    /// by the harness's per-query / per-wave [`Bao::wal_commit`].
+    wal: Option<WalHandle>,
+    /// Lifetime observation counter — the `step` field of logged
+    /// experience appends (survives recovery replay).
+    observed: usize,
 }
 
 impl Bao {
@@ -144,11 +161,77 @@ impl Bao {
             retrains: 0,
             critical: Vec::new(),
             total_train_wall: Duration::ZERO,
+            wal: None,
+            observed: 0,
         }
     }
 
     pub fn featurizer(&self) -> &Featurizer {
         &self.featurizer
+    }
+
+    /// Attach an open WAL. Subsequent [`Bao::observe`] calls buffer
+    /// `ExperienceAppend` frames into it and retrains buffer checkpoint
+    /// + boundary frames; nothing reaches disk until a commit.
+    pub fn attach_wal(&mut self, wal: WalHandle) {
+        self.wal = Some(wal);
+    }
+
+    /// The attached WAL handle, if any (the harness shares it to log
+    /// its own `QueryOutcome` commit records).
+    pub fn wal(&self) -> Option<&WalHandle> {
+        self.wal.as_ref()
+    }
+
+    /// Flush buffered WAL frames to disk (one group commit). No-op
+    /// without an attached WAL.
+    pub fn wal_commit(&self) -> Result<()> {
+        match &self.wal {
+            Some(wal) => match wal.lock() {
+                Ok(mut w) => w.commit(),
+                Err(_) => Err(BaoError::Io("wal lock poisoned".into())),
+            },
+            None => Ok(()),
+        }
+    }
+
+    /// Fingerprint of the behaviour-determining configuration: the
+    /// fields that change *what* Bao decides, not how fast. Thread
+    /// counts, shard width, and the durability knob itself are excluded
+    /// (execution output is identical across them), so a log written on
+    /// one machine replays on another.
+    pub fn config_fingerprint(&self) -> u64 {
+        let c = &self.cfg;
+        let desc = format!(
+            "arms={};window={};retrain={};cache_features={};enabled={};bootstrap={};seed={}",
+            c.arms.len(), c.window_size, c.retrain_interval, c.cache_features, c.enabled,
+            c.bootstrap, c.seed,
+        );
+        fnv64(desc.as_bytes())
+    }
+
+    /// Open the WAL named by `cfg.durability` (fresh log — recovery goes
+    /// through `bao_harness::recover` instead), write the `RunHeader`,
+    /// and attach it. Returns `false` when no durability is configured
+    /// or a WAL is already attached. This is the entry point for
+    /// standalone embedders like the `baodb` shell; the experiment
+    /// harness opens its own log so the header can fingerprint the full
+    /// run configuration.
+    pub fn open_wal(&mut self) -> Result<bool> {
+        let Some(dur) = self.cfg.durability.clone() else {
+            return Ok(false);
+        };
+        if self.wal.is_some() {
+            return Ok(false);
+        }
+        let mut wal = Wal::open(dur)?;
+        wal.append(&WalRecord::RunHeader {
+            seed: self.cfg.seed,
+            config_fp: self.config_fingerprint(),
+        });
+        wal.commit()?;
+        self.attach_wal(Arc::new(Mutex::new(wal)));
+        Ok(true)
     }
 
     pub fn model_name(&self) -> &'static str {
@@ -488,6 +571,19 @@ impl Bao {
     /// period elapses. Off-policy observations (plans Bao did not select,
     /// paper §4) go through the same path.
     pub fn observe(&mut self, tree: FeatTree, perf: f64) -> Option<RetrainReport> {
+        if let Some(wal) = &self.wal {
+            // Append is infallible (it only buffers); I/O errors surface
+            // at the harness's `wal_commit`. A poisoned lock is ignored
+            // here for the same reason — commit will report it.
+            if let Ok(mut w) = wal.lock() {
+                w.append(&WalRecord::ExperienceAppend {
+                    step: self.observed as u64,
+                    tree: tree.clone(),
+                    perf,
+                });
+            }
+        }
+        self.observed += 1;
         self.experience.add(tree, perf);
         self.since_retrain += 1;
         if self.since_retrain >= self.cfg.retrain_interval {
@@ -495,6 +591,38 @@ impl Bao {
         } else {
             None
         }
+    }
+
+    /// Replay one logged experience append during recovery: identical
+    /// state transitions to [`Bao::observe`] except nothing is logged
+    /// and no retrain fires — retrains are driven by the logged
+    /// boundary records via [`Bao::restore_retrain`].
+    pub fn restore_experience(&mut self, tree: FeatTree, perf: f64) {
+        self.observed += 1;
+        self.experience.add(tree, perf);
+        self.since_retrain += 1;
+    }
+
+    /// Replay one logged retrain boundary during recovery. With a
+    /// checkpoint the model's weights are restored byte-for-byte; with
+    /// none the model is re-fitted deterministically from the replayed
+    /// experience window — both land on exactly the state an
+    /// uninterrupted run would hold at this boundary.
+    pub fn restore_retrain(&mut self, version: u64, checkpoint: Option<&str>) -> Result<()> {
+        self.since_retrain = 0;
+        self.retrains = version as usize;
+        match checkpoint {
+            Some(snapshot) => self.model.restore_json(snapshot),
+            None => {
+                self.fit_from_experience();
+                Ok(())
+            }
+        }
+    }
+
+    /// Full weight snapshot of the current model, if it supports one.
+    pub fn model_snapshot(&self) -> Option<String> {
+        self.model.snapshot_json()
     }
 
     /// Register a performance-critical query whose arms were exhaustively
@@ -516,6 +644,40 @@ impl Bao {
         let started = std::time::Instant::now();
         self.since_retrain = 0;
         self.retrains += 1;
+        let critical_rounds = self.fit_from_experience();
+        if let Some(wal) = &self.wal {
+            if let Ok(mut w) = wal.lock() {
+                // Checkpoint first, boundary last: the boundary record is
+                // the marker recovery keys on, and a checkpoint without
+                // its boundary is simply superseded by the refit path.
+                if let Some(snapshot) = self.model.snapshot_json() {
+                    w.append(&WalRecord::ModelCheckpoint {
+                        version: self.retrains as u64,
+                        model: snapshot,
+                    });
+                }
+                w.append(&WalRecord::RetrainBoundary {
+                    version: self.retrains as u64,
+                    experience_size: self.experience.len() as u64,
+                });
+            }
+        }
+        let wall = started.elapsed();
+        self.total_train_wall += wall;
+        RetrainReport {
+            wall,
+            experience_size: self.experience.len(),
+            epochs: self.model.last_epochs(),
+            critical_rounds,
+        }
+    }
+
+    /// The deterministic fit at a retrain boundary: bootstrap resample,
+    /// critical-group refit loop, seeds derived from `(cfg.seed,
+    /// retrains)`. Shared verbatim by [`Bao::retrain_now`] and the
+    /// checkpoint-less recovery path in [`Bao::restore_retrain`] — which
+    /// is what makes refit-based recovery land on identical weights.
+    fn fit_from_experience(&mut self) -> usize {
         let seed = split_seed(self.cfg.seed, self.retrains as u64);
         let (trees, ys) = self.experience.training_data();
 
@@ -570,15 +732,7 @@ impl Bao {
                 }
             }
         }
-
-        let wall = started.elapsed();
-        self.total_train_wall += wall;
-        RetrainReport {
-            wall,
-            experience_size: self.experience.len(),
-            epochs: self.model.last_epochs(),
-            critical_rounds,
-        }
+        critical_rounds
     }
 
     /// Change the experience window (the Figure 15c sweep).

@@ -61,6 +61,7 @@ fn small_bao(arms: Vec<HintSet>, n: usize, k: usize) -> Bao {
         planning_threads: 0,
         shard_workers: 1,
         seed: 7,
+        durability: None,
     };
     let featurizer_dim = bao_core::Featurizer::new(true).input_dim();
     let model = bao_models::TcnnModel::new(

@@ -7,13 +7,16 @@
 
 pub mod armstats;
 pub mod oracle;
+pub mod recover;
 pub mod runner;
 pub mod serving;
 
 pub use armstats::{plan_change_stats, PlanChanges};
 pub use oracle::{exhaustive_arm_perfs, regret_of};
+pub use recover::{recover, recover_or_fresh, Recovered};
 pub use runner::{
-    run_once, BaoSettings, ModelKind, QueryRecord, RunConfig, RunResult, Runner, Strategy,
+    config_fingerprint, run_once, BaoSettings, ModelKind, QueryRecord, ResumeState, RunConfig,
+    RunResult, Runner, Strategy,
 };
 pub use serving::{
     DispatchRecord, ExecFault, SchedServingReport, ServingConfig, ServingReport, ServingRunner,

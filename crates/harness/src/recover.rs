@@ -1,0 +1,220 @@
+//! Crash recovery: replay a `bao-wal` log into a reconstructed runner
+//! whose continued execution is bit-identical to a run that never
+//! crashed (DESIGN.md §14).
+//!
+//! Recovery invariants:
+//!
+//! 1. **Commit rule.** A query exists iff its `QueryOutcome` frame is in
+//!    the valid log prefix. Experience/checkpoint frames trailing the
+//!    last outcome are rolled back (and physically truncated on resume),
+//!    so a crash between `observe` and commit loses the whole query, not
+//!    half of it.
+//! 2. **State equivalence.** After replay, every piece of state the
+//!    remaining queries can observe — experience window contents, model
+//!    weights, model-version counter, buffer-pool pages, database +
+//!    statistics (via re-applied workload events), f64 accumulators —
+//!    equals the uninterrupted run's state at the same step, exactly.
+//!    Model weights come from the logged checkpoint byte-for-byte, or
+//!    (for models without snapshots) from a deterministic refit over the
+//!    replayed window with the same derived seeds.
+//! 3. **Divergence detection.** Replay re-executes each committed
+//!    query's logged plan and cross-checks the recomputed metrics
+//!    against the logged record; any mismatch aborts recovery rather
+//!    than silently continuing from corrupt state.
+
+use bao_common::json::FromJson;
+use bao_common::sync::{Arc, Mutex};
+use bao_common::{BaoError, Result};
+use bao_exec::execute_with;
+use bao_storage::Database;
+use bao_wal::{DurabilityConfig, RecoveryReport, Wal, WalRecord};
+use bao_workloads::Workload;
+
+use crate::runner::{config_fingerprint, QueryRecord, ResumeState, RunConfig, RunResult, Runner, Strategy};
+
+/// A runner reconstructed from a WAL, ready to finish its workload.
+pub struct Recovered {
+    runner: Runner,
+    resume: ResumeState,
+    /// What the scan + replay found (frame census, torn/corrupt tail,
+    /// rollback count, resume point).
+    pub report: RecoveryReport,
+}
+
+impl Recovered {
+    /// The workload step execution will continue from.
+    pub fn resumed_at_step(&self) -> usize {
+        self.resume.start_step
+    }
+
+    /// Finish the workload from the recovered state. The returned
+    /// `RunResult` matches the uninterrupted run's byte-for-byte, except
+    /// `wall_train` (real wall-clock, unrecoverable by definition — the
+    /// equivalence tests zero it, as everywhere else in the workspace).
+    pub fn resume(self, workload: &Workload) -> Result<RunResult> {
+        self.runner.run_from(workload, self.resume)
+    }
+}
+
+fn durability_of(cfg: &RunConfig) -> Result<DurabilityConfig> {
+    match &cfg.strategy {
+        Strategy::Bao(s) => s.durability.clone().ok_or_else(|| {
+            BaoError::Config("recovery requires BaoSettings.durability".into())
+        }),
+        _ => Err(BaoError::Config("recovery requires the Bao strategy".into())),
+    }
+}
+
+/// Scan + replay the WAL under `cfg`'s durability directory and build a
+/// [`Recovered`] runner positioned at the first uncommitted step. Errors
+/// when nothing recoverable exists (no segments, no committed
+/// `RunHeader`), when the header does not match `cfg`, or when replay
+/// diverges from the logged outcomes.
+pub fn recover(cfg: RunConfig, db: Database, workload: &Workload) -> Result<Recovered> {
+    let dur = durability_of(&cfg)?;
+    let mut scan = Wal::scan(&dur.dir)?;
+    scan.rollback_to_last_outcome();
+
+    let mut frames = scan.frames.iter().map(|f| &f.record);
+    match frames.next() {
+        Some(WalRecord::RunHeader { seed, config_fp }) => {
+            if *seed != cfg.seed || *config_fp != config_fingerprint(&cfg) {
+                return Err(BaoError::Config(format!(
+                    "wal header (seed {seed}, fp {config_fp:#x}) does not match the \
+                     recovery configuration (seed {}, fp {:#x})",
+                    cfg.seed,
+                    config_fingerprint(&cfg)
+                )));
+            }
+        }
+        _ => {
+            return Err(BaoError::NotFound(
+                "wal holds no committed run header; nothing to recover".into(),
+            ))
+        }
+    }
+
+    let mut runner = Runner::new(cfg, db);
+    let mut resume = ResumeState::default();
+    let mut stashed_checkpoint: Option<(u64, String)> = None;
+    for record in frames {
+        match record {
+            WalRecord::RunHeader { .. } => {
+                return Err(BaoError::Parse("duplicate run header in wal".into()));
+            }
+            WalRecord::ExperienceAppend { tree, perf, .. } => {
+                let bao = bao_mut(&mut runner)?;
+                bao.restore_experience(tree.clone(), *perf);
+            }
+            WalRecord::ModelCheckpoint { version, model } => {
+                stashed_checkpoint = Some((*version, model.clone()));
+            }
+            WalRecord::RetrainBoundary { version, .. } => {
+                let checkpoint = match &stashed_checkpoint {
+                    Some((v, snap)) if v == version => Some(snap.as_str()),
+                    _ => None,
+                };
+                let bao = bao_mut(&mut runner)?;
+                bao.restore_retrain(*version, checkpoint)?;
+                stashed_checkpoint = None;
+            }
+            WalRecord::CacheInvalidation { .. } => {
+                // Telemetry only: serving-layer plan caches are rebuilt
+                // cold on restart (their entries key on model version,
+                // which replay restores; re-warming is a correctness
+                // no-op by the cache's own miss path).
+            }
+            WalRecord::QueryOutcome { record } => {
+                let rec = QueryRecord::from_json(record)?;
+                replay_outcome(&mut runner, workload, &rec)?;
+                resume.clock += rec.opt_time + rec.latency;
+                resume.total_exec += rec.latency;
+                resume.total_opt += rec.opt_time;
+                resume.total_gpu += rec.gpu_time;
+                resume.start_step = rec.idx + 1;
+                resume.records.push(rec);
+            }
+        }
+    }
+    scan.report.resumed_at_step = resume.start_step as u64;
+
+    // Truncate the on-disk log to the committed prefix and attach the
+    // reopened handle, so the resumed run keeps logging where the
+    // crashed one stopped. Replay above ran with no WAL attached —
+    // restores must never re-log.
+    let wal = Wal::resume(dur, &scan)?;
+    let bao = bao_mut(&mut runner)?;
+    bao.attach_wal(Arc::new(Mutex::new(wal)));
+
+    Ok(Recovered { runner, resume, report: scan.report })
+}
+
+/// Recover if the WAL holds a committed prefix; otherwise wipe the log
+/// directory and run the workload from scratch (with fresh logging).
+/// This makes crash handling *total*: for every possible crash point —
+/// including one torn inside the very first header frame — the final
+/// `RunResult` equals the uninterrupted run's. Intended for the
+/// crash-matrix tests and unattended replay harnesses; interactive
+/// callers should use [`recover`] and decide about destructive
+/// fallbacks themselves.
+pub fn recover_or_fresh(cfg: RunConfig, db: Database, workload: &Workload) -> Result<RunResult> {
+    match recover(cfg.clone(), db.clone(), workload) {
+        Ok(recovered) => recovered.resume(workload),
+        Err(BaoError::NotFound(_)) | Err(BaoError::Parse(_)) => {
+            let dur = durability_of(&cfg)?;
+            if dur.dir.exists() {
+                std::fs::remove_dir_all(&dur.dir)
+                    .map_err(|e| BaoError::Io(format!("wiping wal dir: {e}")))?;
+            }
+            Runner::new(cfg, db).run(workload)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+fn bao_mut(runner: &mut Runner) -> Result<&mut bao_core::Bao> {
+    runner
+        .bao
+        .as_mut()
+        .ok_or_else(|| BaoError::Config("recovery runner has no Bao instance".into()))
+}
+
+/// Re-execute one committed query's logged plan to rebuild physical
+/// state (buffer-pool contents, workload-event side effects), verifying
+/// the recomputed metrics against the logged record. Planning, arm
+/// scoring, and featurization are skipped — their products are already
+/// in the log.
+fn replay_outcome(runner: &mut Runner, workload: &Workload, rec: &QueryRecord) -> Result<()> {
+    let step = workload.steps.get(rec.idx).ok_or_else(|| {
+        BaoError::Config(format!(
+            "wal outcome references step {} but the workload has {}",
+            rec.idx,
+            workload.len()
+        ))
+    })?;
+    runner.apply_step_event(rec.idx, step)?;
+    if runner.cfg.cold_cache {
+        runner.pool.clear();
+    }
+    let metrics = execute_with(
+        &rec.plan,
+        &step.query,
+        &runner.db,
+        &mut runner.pool,
+        &runner.opt.params,
+        &runner.cfg.vm.charge_rates(),
+        &runner.exec,
+    )?;
+    let perf = metrics.perf(runner.cfg.metric);
+    if perf.to_bits() != rec.perf.to_bits()
+        || metrics.latency != rec.latency
+        || metrics.page_misses != rec.physical_io
+    {
+        return Err(BaoError::Parse(format!(
+            "wal replay diverged at step {}: recomputed (perf {perf}, latency {:?}, io {}) \
+             vs logged (perf {}, latency {:?}, io {})",
+            rec.idx, metrics.latency, metrics.page_misses, rec.perf, rec.latency, rec.physical_io
+        )));
+    }
+    Ok(())
+}

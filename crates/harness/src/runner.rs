@@ -2,8 +2,10 @@
 
 use bao_cloud::{gpu_train_time, CostReport, VmType};
 use bao_common::json::{self, FromJson, Json, ToJson};
+use bao_common::sync::{Arc, Mutex};
 use bao_common::{split_seed, BaoError, Result, SimDuration};
 use bao_core::{Bao, BaoConfig};
+use bao_wal::{fnv64, DurabilityConfig, Wal, WalRecord};
 use bao_exec::{execute_with, ExecConfig, PerfMetric};
 use bao_models::{LinearModel, RandomForestModel, TcnnModel, ValueModel};
 use bao_nn::{TcnnConfig, TrainConfig};
@@ -80,6 +82,13 @@ pub struct BaoSettings {
     /// single-shard path, `0` = size to the host). Output is
     /// bit-identical at any width (DESIGN.md §13).
     pub shard_workers: usize,
+    /// Write-ahead logging (DESIGN.md §14): `Some` makes the runner open
+    /// a WAL before the first query, log every experience append /
+    /// retrain checkpoint / query outcome, and group-commit them. `None`
+    /// (the default) is the historical in-memory behaviour. The knob
+    /// never changes what is computed — only whether it survives a
+    /// crash — so it is excluded from the run-config fingerprint.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for BaoSettings {
@@ -93,6 +102,7 @@ impl Default for BaoSettings {
             bootstrap: true,
             planning_threads: 0,
             shard_workers: 1,
+            durability: None,
         }
     }
 }
@@ -282,6 +292,57 @@ impl RunResult {
     }
 }
 
+/// Fingerprint of the behaviour-determining run configuration — every
+/// field that changes what the run computes. The durability knob is
+/// deliberately excluded: a WAL written into one directory must replay
+/// into a recovery run pointed at another, and logging itself never
+/// changes results.
+pub fn config_fingerprint(cfg: &RunConfig) -> u64 {
+    let strat = match &cfg.strategy {
+        Strategy::Traditional => "traditional".to_string(),
+        Strategy::FixedHint(h) => format!("fixed[{h}]"),
+        Strategy::Optimal { arms } => format!("optimal[{}]", arms.len()),
+        Strategy::Bao(s) => format!(
+            "bao[arms={},model={},window={},retrain={},cache_features={},bootstrap={}]",
+            s.arms.len(),
+            s.model.name(),
+            s.window,
+            s.retrain,
+            s.cache_features,
+            s.bootstrap
+        ),
+    };
+    let desc = format!(
+        "vm={:?};profile={:?};metric={:?};strategy={strat};cold={};seq={};seed={};stats={}",
+        cfg.vm,
+        cfg.profile,
+        cfg.metric,
+        cfg.cold_cache,
+        cfg.sequential_arms,
+        cfg.seed,
+        cfg.stats_sample
+    );
+    fnv64(desc.as_bytes())
+}
+
+/// Mid-workload runner state, as reconstructed by `crate::recover` from
+/// a WAL: everything [`Runner::run_from`] needs to continue exactly
+/// where an interrupted run stopped. `Default` is "start from scratch".
+#[derive(Debug, Clone, Default)]
+pub struct ResumeState {
+    /// Records of the already-committed queries, in step order.
+    pub records: Vec<QueryRecord>,
+    /// Workload step to resume at (= `records.len()` committed steps).
+    pub start_step: usize,
+    /// Accumulators as of the last committed query, rebuilt in the exact
+    /// per-query f64 addition order of the original run.
+    pub clock: SimDuration,
+    pub total_exec: SimDuration,
+    pub total_opt: SimDuration,
+    pub total_gpu: SimDuration,
+    pub wall_train: std::time::Duration,
+}
+
 /// Drives one workload under one configuration.
 ///
 /// Fields are crate-visible so the concurrent serving layer
@@ -326,6 +387,7 @@ impl Runner {
                     planning_threads: settings.planning_threads,
                     shard_workers: settings.shard_workers,
                     seed: split_seed(cfg.seed, 2),
+                    durability: settings.durability.clone(),
                 };
                 let dim = bao_core::Featurizer::new(settings.cache_features).input_dim();
                 Some(Bao::with_model(bao_cfg, settings.model.build(dim)))
@@ -372,16 +434,71 @@ impl Runner {
         Ok(())
     }
 
+    /// Open the WAL named by the strategy's `DurabilityConfig` (if any),
+    /// write the `RunHeader` frame, and attach the handle to Bao. Called
+    /// once before the first query by both the serial and serving paths;
+    /// idempotent, and a no-op for non-durable or non-Bao runs. Recovery
+    /// attaches its own resumed handle instead, which this respects.
+    pub(crate) fn init_wal(&mut self) -> Result<()> {
+        let header = WalRecord::RunHeader {
+            seed: self.cfg.seed,
+            config_fp: config_fingerprint(&self.cfg),
+        };
+        let Some(bao) = self.bao.as_mut() else { return Ok(()) };
+        if bao.wal().is_some() {
+            return Ok(());
+        }
+        let Some(dur) = bao.cfg.durability.clone() else { return Ok(()) };
+        let mut wal = Wal::open(dur)?;
+        wal.append(&header);
+        wal.commit()?;
+        bao.attach_wal(Arc::new(Mutex::new(wal)));
+        Ok(())
+    }
+
+    /// Log the per-query commit record and flush the query's buffered
+    /// frames (experience append + any retrain checkpoint) in one group
+    /// commit. The outcome frame is deliberately last: recovery treats
+    /// it as the commit marker and rolls back anything after it.
+    fn commit_outcome(&self, record: &QueryRecord) -> Result<()> {
+        let Some(bao) = self.bao.as_ref() else { return Ok(()) };
+        if let Some(wal) = bao.wal() {
+            if let Ok(mut w) = wal.lock() {
+                w.append(&WalRecord::QueryOutcome { record: record.to_json() });
+            }
+        }
+        bao.wal_commit()
+    }
+
     /// Execute the full workload.
     pub fn run(mut self, workload: &Workload) -> Result<RunResult> {
-        let mut records = Vec::with_capacity(workload.len());
-        let mut clock = SimDuration::ZERO;
-        let mut total_exec = SimDuration::ZERO;
-        let mut total_opt = SimDuration::ZERO;
-        let mut total_gpu = SimDuration::ZERO;
-        let mut wall_train = std::time::Duration::ZERO;
+        self.init_wal()?;
+        self.run_from(workload, ResumeState::default())
+    }
+
+    /// Execute the workload from `resume.start_step` onward, seeded with
+    /// the already-committed records and accumulator state. The from-
+    /// scratch case is `ResumeState::default()`; recovery passes the
+    /// state replayed out of the WAL. Steps before `start_step` are
+    /// skipped entirely — their side effects (workload events, buffer
+    /// pool contents, Bao experience) must already be in place.
+    pub(crate) fn run_from(
+        mut self,
+        workload: &Workload,
+        resume: ResumeState,
+    ) -> Result<RunResult> {
+        let mut records = resume.records;
+        let mut clock = resume.clock;
+        let mut total_exec = resume.total_exec;
+        let mut total_opt = resume.total_opt;
+        let mut total_gpu = resume.total_gpu;
+        let mut wall_train = resume.wall_train;
+        records.reserve(workload.len().saturating_sub(records.len()));
 
         for (idx, step) in workload.steps.iter().enumerate() {
+            if idx < resume.start_step {
+                continue;
+            }
             self.apply_step_event(idx, step)?;
             if self.cfg.cold_cache {
                 self.pool.clear();
@@ -456,7 +573,7 @@ impl Runner {
             total_exec += metrics.latency;
             total_opt += opt_time;
             total_gpu += gpu_time;
-            records.push(QueryRecord {
+            let record = QueryRecord {
                 idx,
                 label: step.label.clone(),
                 arm,
@@ -469,7 +586,9 @@ impl Runner {
                 gpu_time,
                 arm_perfs,
                 plan,
-            });
+            };
+            self.commit_outcome(&record)?;
+            records.push(record);
             drop(metrics);
         }
 

@@ -15,6 +15,7 @@
 use crate::runner::{QueryRecord, RunConfig, RunResult, Runner, Strategy};
 use bao_cache::{CacheStats, CachedChoice, DriftOutcome, PlanCache, PlanCacheConfig};
 use bao_cloud::gpu_train_time;
+use bao_common::json::ToJson;
 use bao_common::{BaoError, Result, SimDuration};
 use bao_core::Selection;
 use bao_exec::execute_with;
@@ -254,6 +255,10 @@ fn run_bao_serving(
         // Reached only for Bao (checked by the caller).
         _ => unreachable!("run_bao_serving requires Strategy::Bao"),
     };
+    // Open the WAL (no-op unless durability is configured). Logging is
+    // invisible to everything the equivalence tests compare: appends
+    // buffer in memory and the flush below is one group commit per wave.
+    inner.init_wal()?;
     let wave_cap_base =
         if cache_clamp { 1 } else { serving.concurrency.min(serving.coalesce_window).max(1) };
 
@@ -501,8 +506,27 @@ fn run_bao_serving(
                 // per-tenant telemetry records the shed.
                 if let (Some(cache), Some(fp)) = (cache.as_mut(), fps[k]) {
                     let backlog = scheduler.queued_len();
-                    if cache.observe(fp, sel.arm, perf, backlog) == DriftOutcome::Shed {
+                    let outcome = cache.observe(fp, sel.arm, perf, backlog);
+                    if outcome == DriftOutcome::Shed {
                         scheduler.note_drift_shed(d.tenant);
+                    }
+                    // Invalidation events are durable telemetry: recovery
+                    // rebuilds caches cold, but the log preserves *why*
+                    // entries died for post-hoc drift analysis.
+                    if matches!(outcome, DriftOutcome::Evicted | DriftOutcome::Shed) {
+                        if let Some(bao) = inner.bao.as_ref() {
+                            if let Some(wal) = bao.wal() {
+                                if let Ok(mut w) = wal.lock() {
+                                    w.append(&bao_wal::WalRecord::CacheInvalidation {
+                                        version: bao.model_version() as u64,
+                                        reason: match outcome {
+                                            DriftOutcome::Shed => "drift_shed".into(),
+                                            _ => "drift_evicted".into(),
+                                        },
+                                    });
+                                }
+                            }
+                        }
                     }
                 }
 
@@ -530,7 +554,7 @@ fn run_bao_serving(
                     shed: d.shed,
                     wait,
                 });
-                records.push(QueryRecord {
+                let record = QueryRecord {
                     idx: d.idx,
                     label: step.label.clone(),
                     arm: sel.arm,
@@ -543,9 +567,25 @@ fn run_bao_serving(
                     gpu_time,
                     arm_perfs: None,
                     plan: sel.plan,
-                });
+                };
+                if let Some(bao) = inner.bao.as_ref() {
+                    if let Some(wal) = bao.wal() {
+                        if let Ok(mut w) = wal.lock() {
+                            w.append(&bao_wal::WalRecord::QueryOutcome {
+                                record: record.to_json(),
+                            });
+                        }
+                    }
+                }
+                records.push(record);
             }
 
+            // Group commit: one flush (and at most one fsync, per the
+            // fsync policy) covers the whole wave's frames — this is the
+            // batching that keeps WAL overhead inside the wal_bench gate.
+            if let Some(bao) = inner.bao.as_ref() {
+                bao.wal_commit()?;
+            }
             now += wave_opt_max + wave_exec;
             waves += 1;
             max_wave = max_wave.max(wave.len());

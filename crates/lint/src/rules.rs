@@ -47,6 +47,12 @@
 //!   `bao_nn::train`, `bao_exec::run_jobs`) must take its width from
 //!   config (`planning_threads` / `TrainConfig::threads` /
 //!   `shard_workers`) so deployments and the race explorer control it.
+//! * `no-unlogged-persistence` — durable state must flow through the WAL
+//!   (DESIGN.md §14): direct `std::fs` writes (`fs::write`,
+//!   `fs::create_dir`, `File::create`, `OpenOptions`) are denied outside
+//!   `bao-wal` itself, the bench/results writers, and binaries. A library
+//!   crate persisting state on the side would survive a crash invisibly
+//!   to recovery — exactly the split-brain the log exists to prevent.
 //! * `hermetic-manifest` — every manifest dependency must be a local
 //!   `path` crate (see [`crate::manifest`]).
 //!
@@ -70,11 +76,12 @@ pub enum RuleId {
     NoPrintln,
     NoRawSync,
     NoUnpinnedPoolWidth,
+    NoUnloggedPersistence,
     HermeticManifest,
 }
 
 impl RuleId {
-    pub const ALL: [RuleId; 11] = [
+    pub const ALL: [RuleId; 12] = [
         RuleId::NoWallClock,
         RuleId::NoHashIterOrder,
         RuleId::NoUnsafe,
@@ -85,6 +92,7 @@ impl RuleId {
         RuleId::NoPrintln,
         RuleId::NoRawSync,
         RuleId::NoUnpinnedPoolWidth,
+        RuleId::NoUnloggedPersistence,
         RuleId::HermeticManifest,
     ];
 
@@ -100,6 +108,7 @@ impl RuleId {
             RuleId::NoPrintln => "no-println",
             RuleId::NoRawSync => "no-raw-sync",
             RuleId::NoUnpinnedPoolWidth => "no-unpinned-pool-width",
+            RuleId::NoUnloggedPersistence => "no-unlogged-persistence",
             RuleId::HermeticManifest => "hermetic-manifest",
         }
     }
@@ -138,6 +147,9 @@ impl RuleId {
             }
             RuleId::NoUnpinnedPoolWidth => {
                 ".spawn( inside a literal-bound for loop (width must come from config)"
+            }
+            RuleId::NoUnloggedPersistence => {
+                "direct std::fs writes outside bao-wal/bench/binaries (use the WAL)"
             }
             RuleId::HermeticManifest => "non-path dependency in a Cargo.toml",
         }
@@ -206,6 +218,15 @@ pub fn applies_to(rule: RuleId, path: &str) -> bool {
         RuleId::NoUnpinnedPoolWidth => {
             path != RAW_SYNC_ALLOWED_FILE && !path.starts_with(RAW_SYNC_ALLOWED_CRATE)
         }
+        // Durable writes belong to the WAL. The log implementation, the
+        // bench crate's results writers, and binaries (shells, figure
+        // drivers) are the legitimate persistence sites.
+        RuleId::NoUnloggedPersistence => {
+            !(path.starts_with("crates/wal/")
+                || path.starts_with("crates/bench/")
+                || path.contains("/bin/")
+                || path.ends_with("/main.rs"))
+        }
         RuleId::HermeticManifest => false, // manifest rule, not a source rule
     }
 }
@@ -220,6 +241,7 @@ fn skips_test_code(rule: RuleId) -> bool {
             | RuleId::NoFloatEq
             | RuleId::NoPrintln
             | RuleId::NoUnpinnedPoolWidth
+            | RuleId::NoUnloggedPersistence
     )
 }
 
@@ -277,6 +299,12 @@ fn patterns(rule: RuleId) -> &'static [Pattern] {
             Pattern { needle: "eprintln!", word: true },
         ],
         RuleId::NoUnpinnedPoolWidth => &[Pattern { needle: ".spawn(", word: false }],
+        RuleId::NoUnloggedPersistence => &[
+            Pattern { needle: "fs::write", word: true },
+            Pattern { needle: "fs::create_dir", word: false },
+            Pattern { needle: "File::create", word: false },
+            Pattern { needle: "OpenOptions", word: true },
+        ],
         RuleId::HermeticManifest => &[],
     }
 }
@@ -676,6 +704,68 @@ mod tests {
         assert!(!applies_to(RuleId::NoUnpinnedPoolWidth, "crates/race/tests/fixtures.rs"));
         assert!(!applies_to(RuleId::NoUnpinnedPoolWidth, "crates/common/src/sync.rs"));
         assert!(applies_to(RuleId::NoUnpinnedPoolWidth, "crates/executor/src/par.rs"));
+    }
+
+    #[test]
+    fn unlogged_persistence_flags_library_fs_writes() {
+        let src = "fn save(p: &std::path::Path) {\n\
+                   std::fs::write(p, b\"x\").unwrap();\n\
+                   std::fs::create_dir_all(p).unwrap();\n\
+                   let f = std::fs::File::create(p).unwrap();\n\
+                   let o = std::fs::OpenOptions::new().append(true).open(p);\n\
+                   }\n";
+        let d = check_source(
+            "crates/core/src/bao.rs",
+            src,
+            &[RuleId::NoUnloggedPersistence],
+        );
+        assert_eq!(d.len(), 4, "{d:?}");
+        assert_eq!(d.iter().map(|x| x.line).collect::<Vec<_>>(), vec![2, 3, 4, 5]);
+
+        // The WAL crate, the bench crate, and binaries are the sanctioned
+        // persistence sites.
+        for exempt in [
+            "crates/wal/src/log.rs",
+            "crates/bench/src/timing.rs",
+            "crates/bench/src/bin/baodb.rs",
+            "crates/lint/src/main.rs",
+        ] {
+            assert!(!applies_to(RuleId::NoUnloggedPersistence, exempt), "{exempt}");
+        }
+        assert!(applies_to(RuleId::NoUnloggedPersistence, "crates/harness/src/recover.rs"));
+    }
+
+    #[test]
+    fn unlogged_persistence_masked_regions_stay_silent() {
+        // Reads are not writes; string/comment occurrences are masked;
+        // test modules are exempt; a pragma waives a deliberate site.
+        let src = "fn load(p: &std::path::Path) -> Vec<u8> {\n\
+                   // telemetry via std::fs::write lives in bao-race\n\
+                   let s = \"fs::write\";\n\
+                   let _ = s;\n\
+                   std::fs::read(p).unwrap()\n\
+                   }\n\
+                   fn waived(p: &std::path::Path) {\n\
+                   // bao-lint: allow(no-unlogged-persistence)\n\
+                   std::fs::write(p, b\"report\").unwrap();\n\
+                   }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   fn t() { std::fs::write(\"/tmp/x\", b\"y\").unwrap(); }\n\
+                   }\n";
+        let d = check_source(
+            "crates/storage/src/buffer.rs",
+            src,
+            &[RuleId::NoUnloggedPersistence],
+        );
+        assert!(d.is_empty(), "{d:?}");
+        // `remove_dir_all` (cleanup, not persistence) is not a needle.
+        let d = check_source(
+            "crates/harness/src/recover.rs",
+            "fn wipe(p: &std::path::Path) { std::fs::remove_dir_all(p).ok(); }\n",
+            &[RuleId::NoUnloggedPersistence],
+        );
+        assert!(d.is_empty(), "{d:?}");
     }
 
     #[test]

@@ -74,4 +74,22 @@ pub trait ValueModel: Send {
     fn last_epochs(&self) -> usize {
         0
     }
+
+    /// Serialize the model's full fitted state to a JSON string for WAL
+    /// checkpointing. `None` means the model does not support snapshots
+    /// (the WAL then records only the retrain boundary, and recovery
+    /// re-fits deterministically from replayed experience).
+    fn snapshot_json(&self) -> Option<String> {
+        None
+    }
+
+    /// Restore fitted state from a [`ValueModel::snapshot_json`] string.
+    /// Models that return `None` from `snapshot_json` keep this default,
+    /// which errors.
+    fn restore_json(&mut self, _snapshot: &str) -> Result<()> {
+        Err(bao_common::BaoError::Config(format!(
+            "{} does not support weight snapshots",
+            self.name()
+        )))
+    }
 }

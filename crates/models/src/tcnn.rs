@@ -158,6 +158,15 @@ impl ValueModel for TcnnModel {
     fn last_epochs(&self) -> usize {
         self.last_epochs
     }
+
+    fn snapshot_json(&self) -> Option<String> {
+        self.to_json().ok()
+    }
+
+    fn restore_json(&mut self, snapshot: &str) -> Result<()> {
+        *self = TcnnModel::from_json(snapshot)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

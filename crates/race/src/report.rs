@@ -42,6 +42,8 @@ pub fn record_suite(suite: &str, interleavings: usize) {
         "race_interleavings_explored".to_string(),
         Json::Obj(fields),
     )]);
+    // Test-only telemetry, not recoverable state; deliberately not WAL'd.
+    // bao-lint: allow(no-unlogged-persistence)
     if let Err(e) = std::fs::write(&path, doc.to_string_pretty() + "\n") {
         // Diagnostics from a test-only reporting path; warn-only on purpose.
         // bao-lint: allow(no-println)

@@ -366,6 +366,85 @@ mod tests {
     }
 
     #[test]
+    fn shard_stats_empty_pool_and_empty_table() {
+        // No accesses at all: the split is empty and sums to the (zero)
+        // totals rather than inventing zero-valued shard entries.
+        let p = BufferPool::new(4);
+        assert!(p.shard_stats().is_empty());
+        assert_eq!(p.stats(), PoolStats::default());
+
+        // An "empty table" scanned over 4 shards: the morsel planner
+        // produces no accesses for any shard, so the map stays empty even
+        // though the pool has seen unrelated (unsharded) traffic.
+        let mut p = BufferPool::new(4);
+        p.access(PageKey::new(7, 0), AccessKind::Cached);
+        assert!(p.shard_stats().len() == 1 && p.shard_stats().contains_key(&0));
+        let summed = p
+            .shard_stats()
+            .values()
+            .fold(PoolStats::default(), |acc, s| PoolStats {
+                hits: acc.hits + s.hits,
+                misses: acc.misses + s.misses,
+            });
+        assert_eq!(summed, p.stats());
+    }
+
+    #[test]
+    fn shard_stats_single_row_shards() {
+        // One page per shard (single-row shards): every shard gets exactly
+        // one entry with one miss, and the split partitions the totals.
+        let mut p = BufferPool::new(8);
+        let n = 5u32;
+        for s in 0..n {
+            p.access(PageKey::new(1, s).with_shard(s), AccessKind::Cached);
+        }
+        assert_eq!(p.shard_stats().len(), n as usize);
+        for s in 0..n {
+            let st = p.shard_stats()[&s];
+            assert_eq!((st.hits, st.misses), (0, 1), "shard {s}");
+            assert_eq!(st.accesses(), 1);
+        }
+        let summed = p
+            .shard_stats()
+            .values()
+            .fold(PoolStats::default(), |acc, s| PoolStats {
+                hits: acc.hits + s.hits,
+                misses: acc.misses + s.misses,
+            });
+        assert_eq!(summed, p.stats());
+        assert_eq!(p.stats().accesses(), n as u64);
+    }
+
+    #[test]
+    fn shard_stats_more_shards_than_rows() {
+        // 16-way sharding of a 3-page table: only the shards that actually
+        // received a morsel appear, idle shards contribute nothing, and
+        // the sum still equals the totals exactly.
+        let mut p = BufferPool::new(8);
+        let rows = 3u32;
+        let shards = 16u32;
+        for r in 0..rows {
+            // Round-robin assignment leaves shards 3..16 idle.
+            p.access(PageKey::new(1, r).with_shard(r % shards), AccessKind::Cached);
+            // A re-touch from the same shard: hit, same entry.
+            p.access(PageKey::new(1, r).with_shard(r % shards), AccessKind::Cached);
+        }
+        assert_eq!(p.shard_stats().len(), rows as usize);
+        for s in rows..shards {
+            assert!(!p.shard_stats().contains_key(&s), "idle shard {s} must not appear");
+        }
+        let summed = p
+            .shard_stats()
+            .values()
+            .fold(PoolStats::default(), |acc, s| PoolStats {
+                hits: acc.hits + s.hits,
+                misses: acc.misses + s.misses,
+            });
+        assert_eq!(summed, p.stats());
+        assert_eq!(p.stats(), PoolStats { hits: rows as u64, misses: rows as u64 });
+    }
+
+    #[test]
     fn eviction_deterministic_across_shard_counts() {
         let (_, resident1, _) = sharded_trace(1);
         for shards in [2, 4, 8] {

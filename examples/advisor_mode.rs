@@ -33,6 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         planning_threads: 0,
         shard_workers: 1,
         seed: 9,
+        durability: None,
     });
     let mut pool = BufferPool::new(N1_16.buffer_pool_pages());
     for step in &workload.steps {

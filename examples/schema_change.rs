@@ -31,6 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         planning_threads: 0,
         shard_workers: 1,
         seed: 4,
+        durability: None,
     });
     let mut pool = BufferPool::new(N1_16.buffer_pool_pages());
 

@@ -16,11 +16,19 @@
 #                        whole pass stays within ~60s (DESIGN.md §12).
 #                        Interleaving counts land in
 #                        results/race_report.json
-#   6. race nightly    — opt-in via --race-nightly: the four production
-#                        suites with BAO_RACE_UNBOUNDED=1, exploring the
+#   6. race nightly    — opt-in via --race-nightly: the production suites
+#                        with BAO_RACE_UNBOUNDED=1, exploring the
 #                        bounded-preemption interleaving space to
-#                        completion (minutes, not seconds); final counts
-#                        land in results/race_report.json
+#                        completion (minutes, not seconds), then the
+#                        sched_serving_handoff suite under an explicit
+#                        BAO_RACE_BUDGET (default 2000 — its full space
+#                        is impractically large); final counts land in
+#                        results/race_report.json
+#   7. crash smoke     — opt-in via --crash-smoke: the kill-at-boundary
+#                        crash matrix (tests/crash_recovery.rs), 1 seed /
+#                        every 4th boundary; the full matrix (3 seeds,
+#                        every boundary) runs when BAO_CRASH_EXHAUSTIVE=1
+#                        is already exported (DESIGN.md §14)
 #
 # Run from anywhere; operates on the repo containing this script.
 set -euo pipefail
@@ -31,11 +39,13 @@ cd "$repo"
 bench_smoke=0
 race_smoke=0
 race_nightly=0
+crash_smoke=0
 for arg in "$@"; do
     case "$arg" in
         --bench-smoke) bench_smoke=1 ;;
         --race-smoke) race_smoke=1 ;;
         --race-nightly) race_nightly=1 ;;
+        --crash-smoke) crash_smoke=1 ;;
         *) echo "unknown flag: $arg" >&2; exit 2 ;;
     esac
 done
@@ -71,6 +81,9 @@ if [ "$bench_smoke" = 1 ]; then
     echo
     echo "== bench smoke (shard_bench --quick --gate) =="
     cargo run -q --release -p bao-bench --bin shard_bench -- --quick --gate
+    echo
+    echo "== bench smoke (wal_bench --quick --gate) =="
+    cargo run -q --release -p bao-bench --bin wal_bench -- --quick --gate
 fi
 
 if [ "$race_smoke" = 1 ]; then
@@ -86,7 +99,19 @@ if [ "$race_nightly" = 1 ]; then
     echo
     echo "== race nightly (unbounded exploration of the production suites) =="
     BAO_RACE_UNBOUNDED=1 RUSTFLAGS="--cfg bao_race" CARGO_TARGET_DIR=target/race \
-        cargo test -q -p bao-race --test race_suites
+        cargo test -q -p bao-race --test race_suites -- --skip sched_serving_handoff
+    echo
+    echo "== race nightly (sched_serving_handoff, BAO_RACE_BUDGET=${BAO_RACE_BUDGET:-2000}) =="
+    # This suite's full bounded-preemption space does not terminate in
+    # nightly time; an explicit budget records a reproducible first count.
+    BAO_RACE_BUDGET="${BAO_RACE_BUDGET:-2000}" RUSTFLAGS="--cfg bao_race" CARGO_TARGET_DIR=target/race \
+        cargo test -q -p bao-race --test race_suites sched_serving_handoff
+fi
+
+if [ "$crash_smoke" = 1 ]; then
+    echo
+    echo "== crash smoke (kill-at-boundary recovery matrix) =="
+    cargo test -q -p bao-bench --test crash_recovery
 fi
 
 echo
